@@ -1,0 +1,49 @@
+"""Figure 3: RTF average PSNR vs batch size and number of attacked neurons.
+
+Paper shape: PSNR decreases with batch size (summed gradients mix more
+samples per bin) and generally increases with the number of neurons (finer
+bins).  Headline paper values: ImageNet B=8 peaks ~127.9 dB; CIFAR100 B=8
+peaks ~147.7 dB; every row decays toward B=256.
+"""
+
+from __future__ import annotations
+
+from common import cifar100_bench, imagenet_bench, record_report
+from repro.experiments import monotone_in_batch_size, run_sweep
+
+BATCH_SIZES = (8, 32, 64, 128, 256)
+NEURON_COUNTS = (100, 300, 500, 700, 900)
+
+
+def _sweep(dataset):
+    return run_sweep(
+        dataset, "rtf",
+        batch_sizes=BATCH_SIZES,
+        neuron_counts=NEURON_COUNTS,
+        num_trials=1,
+        seed=5,
+    )
+
+
+def test_fig03_rtf_sweep_imagenet(benchmark):
+    result = benchmark.pedantic(lambda: _sweep(imagenet_bench()), rounds=1, iterations=1)
+    record_report(
+        "Figure 3a — RTF sweep, ImageNet (avg PSNR, rows=neurons, cols=batch)",
+        result.to_table()
+        + f"\nper-batch optima: {result.optima}"
+        + f"\nmonotone-decreasing-in-B fraction: {monotone_in_batch_size(result):.2f}",
+    )
+    assert monotone_in_batch_size(result) >= 0.6
+    assert result.optima[8][1] > 100.0  # B=8 in the perfect-reconstruction regime
+
+
+def test_fig03_rtf_sweep_cifar100(benchmark):
+    result = benchmark.pedantic(lambda: _sweep(cifar100_bench()), rounds=1, iterations=1)
+    record_report(
+        "Figure 3b — RTF sweep, CIFAR100 (avg PSNR, rows=neurons, cols=batch)",
+        result.to_table()
+        + f"\nper-batch optima: {result.optima}"
+        + f"\nmonotone-decreasing-in-B fraction: {monotone_in_batch_size(result):.2f}",
+    )
+    assert monotone_in_batch_size(result) >= 0.6
+    assert result.optima[8][1] > 100.0

@@ -1,0 +1,48 @@
+"""Figure 4: CAH average PSNR vs batch size and number of attacked neurons.
+
+Paper shape: like RTF, CAH weakens with batch size (trap occupancy grows).
+Headline values: ImageNet B=8 peaks ~147.9 dB, B=64 ~97.4 dB; CIFAR100
+B=8 ~70.5 dB, B=64 ~40.0 dB.
+"""
+
+from __future__ import annotations
+
+from common import cifar100_bench, imagenet_bench, record_report
+from repro.experiments import monotone_in_batch_size, run_sweep
+
+BATCH_SIZES = (8, 32, 64, 128)
+NEURON_COUNTS = (100, 300, 500, 700)
+
+
+def _sweep(dataset):
+    return run_sweep(
+        dataset, "cah",
+        batch_sizes=BATCH_SIZES,
+        neuron_counts=NEURON_COUNTS,
+        num_trials=1,
+        seed=6,
+    )
+
+
+def test_fig04_cah_sweep_imagenet(benchmark):
+    result = benchmark.pedantic(lambda: _sweep(imagenet_bench()), rounds=1, iterations=1)
+    record_report(
+        "Figure 4a — CAH sweep, ImageNet (avg PSNR, rows=neurons, cols=batch)",
+        result.to_table()
+        + f"\nper-batch optima: {result.optima}"
+        + f"\nmonotone-decreasing-in-B fraction: {monotone_in_batch_size(result):.2f}",
+    )
+    assert monotone_in_batch_size(result) >= 0.6
+    assert result.optima[8][1] > result.optima[BATCH_SIZES[-1]][1]
+
+
+def test_fig04_cah_sweep_cifar100(benchmark):
+    result = benchmark.pedantic(lambda: _sweep(cifar100_bench()), rounds=1, iterations=1)
+    record_report(
+        "Figure 4b — CAH sweep, CIFAR100 (avg PSNR, rows=neurons, cols=batch)",
+        result.to_table()
+        + f"\nper-batch optima: {result.optima}"
+        + f"\nmonotone-decreasing-in-B fraction: {monotone_in_batch_size(result):.2f}",
+    )
+    assert monotone_in_batch_size(result) >= 0.6
+    assert result.optima[8][1] > result.optima[BATCH_SIZES[-1]][1]

@@ -1,0 +1,54 @@
+"""Shared benchmark infrastructure: datasets, report registry, scales.
+
+The benchmark suite regenerates every table and figure of the paper at a
+CPU-budget scale (reduced resolutions / trial counts, same protocol).  Each
+bench records a plain-text report; the conftest's terminal-summary hook
+prints all reports at the end of the run so ``pytest benchmarks/
+--benchmark-only`` leaves the reproduced numbers in its output.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.data import make_synthetic_dataset, synthetic_cifar100, synthetic_imagenet
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, body: str) -> None:
+    _REPORTS.append((title, body))
+
+
+def consume_reports() -> list[tuple[str, str]]:
+    return list(_REPORTS)
+
+
+@lru_cache(maxsize=None)
+def imagenet_bench():
+    """ImageNet stand-in for attack benches (32px for CPU budget)."""
+    return synthetic_imagenet(samples_per_class=32, image_size=32, seed=1001)
+
+
+@lru_cache(maxsize=None)
+def cifar100_bench():
+    """CIFAR100 stand-in for attack benches (full 100 classes)."""
+    return synthetic_cifar100(samples_per_class=4, seed=2002)
+
+
+@lru_cache(maxsize=None)
+def imagenet_table1():
+    """Small 10-class set for the Table I training bench (16px)."""
+    return make_synthetic_dataset(
+        num_classes=10, samples_per_class=16, image_size=16, seed=42,
+        name="imagenet16",
+    )
+
+
+@lru_cache(maxsize=None)
+def cifar_table1():
+    """Reduced 20-class CIFAR-style set for the Table I training bench."""
+    return make_synthetic_dataset(
+        num_classes=20, samples_per_class=8, image_size=16, seed=43,
+        name="cifar20",
+    )

@@ -1,0 +1,20 @@
+"""Benchmark-suite conftest: print recorded reproduction reports at the end."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = common.consume_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "OASIS reproduction: regenerated tables/figures")
+    for title, body in reports:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(body)

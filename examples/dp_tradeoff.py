@@ -1,0 +1,92 @@
+"""DP-SGD versus OASIS: the privacy/utility trade-off motivating the paper.
+
+The paper's Secs. I and V argue that DP-SGD (Abadi et al.) is the wrong
+tool against active reconstruction: per-example clipping cannot stop
+gradient inversion at all (Eq. 6 is invariant to per-example rescaling),
+and the Gaussian noise that does stop it perturbs every honest training
+step.  OASIS reaches the low-PSNR regime without touching gradients.
+
+This example sweeps the DP-SGD noise multiplier z (clip C fixed) against
+the RTF attack, trains a federated model at each level, and prints the
+trade-off table with OASIS as the final row.
+
+Run:  python examples/dp_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_synthetic_dataset, train_test_split
+from repro.defense import DPSGDDefense, OasisDefense
+from repro.experiments import format_table, run_attack_trial
+from repro.fl import FederatedSimulation, FederationConfig
+from repro.nn import MLP
+
+CLIP_NORM = 0.05
+NOISE_MULTIPLIERS = (0.0, 0.01, 0.1, 1.0)
+SEED = 13
+
+
+def attack_psnr(dataset, defense):
+    trial = run_attack_trial(dataset, "rtf", 8, 200, defense=defense, seed=SEED)
+    return trial.average_psnr
+
+
+def federated_accuracy(train, test, defense):
+    def factory():
+        return MLP([train.flat_dim, 64, train.num_classes],
+                   rng=np.random.default_rng(SEED))
+
+    simulation = FederatedSimulation(
+        train,
+        factory,
+        FederationConfig(num_clients=4, batch_size=8, learning_rate=0.1, seed=SEED),
+        defense=defense,
+    )
+    simulation.run(80)
+    return simulation.evaluate(test)
+
+
+def main() -> None:
+    print(__doc__)
+    dataset = make_synthetic_dataset(
+        num_classes=6, samples_per_class=30, image_size=16, seed=SEED, name="dp-study"
+    )
+    train, test = train_test_split(dataset, 0.2, seed=SEED)
+
+    rows = []
+    for z in NOISE_MULTIPLIERS:
+        defense = DPSGDDefense(clip_norm=CLIP_NORM, noise_multiplier=z)
+        label = f"DP-SGD C={CLIP_NORM}, z={z:g}" + ("  (clip only)" if z == 0 else "")
+        rows.append(
+            [
+                label,
+                f"{attack_psnr(dataset, defense):.1f}",
+                f"{federated_accuracy(train, test, defense):.2%}",
+            ]
+        )
+    oasis = OasisDefense("MR")
+    rows.append(
+        [
+            "OASIS (MR)",
+            f"{attack_psnr(dataset, oasis):.1f}",
+            f"{federated_accuracy(train, test, oasis):.2%}",
+        ]
+    )
+    no_defense_acc = federated_accuracy(train, test, None)
+    rows.append(["no defense", f"{attack_psnr(dataset, None):.1f}",
+                 f"{no_defense_acc:.2%}"])
+    print(format_table(["defense", "attack PSNR (dB)", "test accuracy"], rows))
+    print(
+        "\nReading: clipping alone (z=0) leaves the attack at full power — "
+        "Eq. 6 divides two gradients of the same sample, so per-example "
+        "rescaling cancels — while DP-grade clip norms already slow honest "
+        "training badly.  Adding noise (z>0) finally kills the "
+        "reconstruction but keeps the utility cost.  OASIS reaches low "
+        "PSNR with the gradients untouched and full accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

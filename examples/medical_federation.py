@@ -1,0 +1,108 @@
+"""Domain scenario: a hospital federation under a dishonest server.
+
+The paper's motivating deployment (Sec. I): hospitals jointly train an
+imaging model under HIPAA/GDPR-style constraints — data may never leave a
+site, yet a dishonest coordinator can reconstruct scans from gradient
+updates.  This example simulates ten "hospitals" training a classifier
+over a synthetic medical-style imaging dataset and demonstrates:
+
+1. A dishonest server recovering one hospital's training scans verbatim.
+2. The same federation with OASIS enabled on every client: the attack
+   yields only unrecognizable overlaps.
+3. Training utility: the federation still converges with OASIS enabled.
+
+Run:  python examples/medical_federation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import ImprintedModel, RTFAttack
+from repro.data import make_synthetic_dataset, train_test_split
+from repro.defense import OasisDefense
+from repro.fl import FederatedSimulation, FederationConfig
+from repro.metrics import per_image_best_psnr
+from repro.nn import MLP
+
+NUM_HOSPITALS = 10
+NUM_NEURONS = 200
+ROUNDS = 1
+SEED = 3
+
+
+def build_dataset():
+    """A 6-class 'modality' dataset standing in for de-identified scans."""
+    return make_synthetic_dataset(
+        num_classes=6, samples_per_class=30, image_size=16, seed=SEED,
+        name="scans",
+        class_names=("cxr", "ct", "mri-t1", "mri-t2", "pet", "ultrasound"),
+    )
+
+
+def attack_federation(dataset, defense):
+    """Run one attacked FL round; return target batch and reconstructions."""
+    def model_factory():
+        return ImprintedModel(
+            dataset.image_shape, NUM_NEURONS, dataset.num_classes,
+            rng=np.random.default_rng(SEED),
+        )
+
+    attack = RTFAttack(NUM_NEURONS)
+    attack.calibrate_from_public_data(dataset.images[:100])
+    simulation = FederatedSimulation(
+        dataset,
+        model_factory,
+        FederationConfig(num_clients=NUM_HOSPITALS, batch_size=8, seed=SEED),
+        defense=defense,
+        attack=attack,
+        target_client_id=0,
+    )
+    simulation.run(ROUNDS)
+    server = simulation.server
+    target_batch = server.clients[0].last_batch[0]
+    return target_batch, server.reconstructions[0].images
+
+
+def main() -> None:
+    print(__doc__)
+    dataset = build_dataset()
+
+    # 1) No defense: hospital 0's scans leak verbatim.
+    batch, recons = attack_federation(dataset, defense=None)
+    leak = per_image_best_psnr(batch, recons)
+    print(f"Dishonest server, no defense: per-scan best PSNR = "
+          f"{np.round(leak, 1)}")
+    print(f"  -> {np.sum(leak > 100)} of {len(leak)} scans recovered verbatim\n")
+
+    # 2) OASIS on every hospital: the same attack recovers nothing.
+    batch, recons = attack_federation(dataset, defense=OasisDefense("MR"))
+    protected = per_image_best_psnr(batch, recons)
+    print(f"Dishonest server vs OASIS-MR: per-scan best PSNR = "
+          f"{np.round(protected, 1)}")
+    print(f"  -> {np.sum(protected > 100)} of {len(protected)} scans recovered\n")
+
+    # 3) Utility: the federation still learns with OASIS enabled.
+    train, test = train_test_split(dataset, 0.2, seed=SEED)
+
+    def classifier_factory():
+        return MLP([dataset.flat_dim, 64, dataset.num_classes],
+                   rng=np.random.default_rng(SEED))
+
+    for label, defense in (("without OASIS", None), ("with OASIS-MR", OasisDefense("MR"))):
+        simulation = FederatedSimulation(
+            train,
+            classifier_factory,
+            FederationConfig(
+                num_clients=NUM_HOSPITALS, batch_size=8,
+                learning_rate=0.1, seed=SEED,
+            ),
+            defense=defense,
+        )
+        simulation.run(60)
+        accuracy = simulation.evaluate(test)
+        print(f"Federated training {label}: test accuracy = {accuracy:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: one dishonest-server round, with and without OASIS.
+
+Builds a CIFAR100-style dataset, lets a dishonest server run the
+Robbing-the-Fed attack against one client batch, and shows what the server
+recovers — first without any defense (verbatim images), then with OASIS
+major-rotation augmentation (unrecognizable overlaps).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import ImprintedModel, RTFAttack
+from repro.data import synthetic_cifar100
+from repro.defense import OasisDefense
+from repro.experiments import render_ascii_image, side_by_side
+from repro.fl import compute_batch_gradients
+from repro.metrics import average_attack_psnr, best_match_psnr
+from repro.nn import CrossEntropyLoss
+
+BATCH_SIZE = 8
+NUM_NEURONS = 500
+SEED = 7
+
+
+def run_attack(attack, model, images, labels, defense=None):
+    """One client update on the malicious model; return reconstructions."""
+    if defense is not None:
+        images, labels = defense.expand_batch(images, labels)
+    gradients, _ = compute_batch_gradients(
+        model, CrossEntropyLoss(), images, labels
+    )
+    return attack.reconstruct(gradients)
+
+
+def main() -> None:
+    print(__doc__)
+    dataset = synthetic_cifar100(samples_per_class=4)
+    rng = np.random.default_rng(SEED)
+    images, labels = dataset.sample_batch(BATCH_SIZE, rng)
+
+    # The dishonest server crafts the malicious imprint layer.
+    model = ImprintedModel(
+        dataset.image_shape, NUM_NEURONS, dataset.num_classes,
+        rng=np.random.default_rng(SEED),
+    )
+    attack = RTFAttack(NUM_NEURONS)
+    attack.calibrate_from_public_data(dataset.images[:200])
+    attack.craft(model)
+
+    # --- Without OASIS: the batch leaks verbatim. -----------------------
+    result = run_attack(attack, model, images, labels)
+    psnr_without = average_attack_psnr(images, result.images)
+    print(f"\nWithout OASIS: {len(result)} reconstructions, "
+          f"average PSNR = {psnr_without:.1f} dB  (>100 dB = verbatim copy)")
+
+    # --- With OASIS (major rotation): only overlaps come out. -----------
+    defense = OasisDefense("MR")
+    protected = run_attack(attack, model, images, labels, defense=defense)
+    psnr_with = average_attack_psnr(images, protected.images)
+    print(f"With OASIS-MR: {len(protected)} reconstructions, "
+          f"average PSNR = {psnr_with:.1f} dB  (~15-20 dB = unrecognizable)")
+
+    # --- Show one original next to its best-matching reconstruction. ----
+    original = images[0]
+    score, _ = best_match_psnr(
+        protected.images, original
+    ) if len(protected.images) else (0.0, 0)
+    best = max(
+        protected.images,
+        key=lambda recon: best_match_psnr(images[:1], recon)[0],
+    )
+    print("\nOriginal (left) vs best reconstruction under OASIS (right):")
+    print(
+        side_by_side(
+            render_ascii_image(original, width=30),
+            render_ascii_image(best, width=30),
+        )
+    )
+    print(f"\nOASIS reduced the attack's PSNR by "
+          f"{psnr_without - psnr_with:.1f} dB on this batch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Transformation study: which augmentation defends against which attack?
+
+Reproduces the decision matrix behind the paper's Figures 5 and 6 at
+example scale: every OASIS suite against both imprint attacks, plus the
+Proposition 1 activation-overlap diagnostics that explain *why* each
+pairing works or fails.
+
+Run:  python examples/transform_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import CAHAttack, ImprintedModel, RTFAttack
+from repro.data import synthetic_cifar100
+from repro.defense import OasisDefense, activation_overlap_report
+from repro.experiments import format_table, run_defense_lineup
+
+SUITES = ("WO", "MR", "mR", "SH", "HFlip", "VFlip", "MR+SH")
+BATCH_SIZE = 8
+NUM_NEURONS = 300
+SEED = 11
+
+
+def psnr_matrix(dataset):
+    rows = []
+    for attack_name in ("rtf", "cah"):
+        lineup = run_defense_lineup(
+            dataset, attack_name, BATCH_SIZE, NUM_NEURONS, SUITES,
+            num_trials=2, seed=SEED,
+        )
+        averages = lineup.averages()
+        rows.append([attack_name] + [f"{averages[s]:.1f}" for s in SUITES])
+    return format_table(["attack \\ suite"] + list(SUITES), rows)
+
+
+def overlap_matrix(dataset):
+    rng = np.random.default_rng(SEED)
+    images, labels = dataset.sample_batch(BATCH_SIZE, rng)
+    rows = []
+    for attack_name in ("rtf", "cah"):
+        model = ImprintedModel(
+            dataset.image_shape, NUM_NEURONS, dataset.num_classes,
+            rng=np.random.default_rng(SEED),
+        )
+        if attack_name == "rtf":
+            attack = RTFAttack(NUM_NEURONS)
+        else:
+            attack = CAHAttack(NUM_NEURONS, seed=SEED)
+        attack.calibrate_from_public_data(dataset.images[:200])
+        attack.craft(model)
+        row = [attack_name]
+        for suite in SUITES[1:]:
+            report = activation_overlap_report(
+                model, OasisDefense(suite), images, labels
+            )
+            row.append(f"{report.protected_fraction:.2f}/{report.mean_jaccard:.2f}")
+        rows.append(row)
+    return format_table(["attack \\ suite"] + list(SUITES[1:]), rows)
+
+
+def main() -> None:
+    print(__doc__)
+    dataset = synthetic_cifar100(samples_per_class=4)
+
+    print("Average reconstruction PSNR (dB) — lower is better defense:")
+    print(psnr_matrix(dataset))
+    print()
+    print("Proposition 1 diagnostics (protected fraction / mean Jaccard):")
+    print(overlap_matrix(dataset))
+    print(
+        "\nReading: RTF's bins depend only on the mean pixel value, which "
+        "every OASIS transform preserves — protected fraction 1.0 and "
+        "uniform ~16 dB.  CAH's random traps are invariant to nothing, so "
+        "protection is statistical: combining transforms (MR+SH) raises "
+        "trap occupancy and pushes the PSNR floor down, exactly the "
+        "paper's Fig. 6 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

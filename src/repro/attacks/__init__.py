@@ -1,0 +1,34 @@
+"""Active reconstruction attacks: RTF, CAH, and linear-model inversion."""
+
+from repro.attacks.base import (
+    ActiveReconstructionAttack,
+    ReconstructionResult,
+    clip_to_image,
+)
+from repro.attacks.cah import CAHAttack
+from repro.attacks.imprint import (
+    IMPRINT_BIAS,
+    IMPRINT_WEIGHT,
+    ImprintedModel,
+    activation_matrix,
+    extract_imprint_gradients,
+    invert_gradient_pair,
+)
+from repro.attacks.linear import LinearClassifier, LinearModelInversion
+from repro.attacks.rtf import RTFAttack
+
+__all__ = [
+    "ActiveReconstructionAttack",
+    "ReconstructionResult",
+    "clip_to_image",
+    "ImprintedModel",
+    "activation_matrix",
+    "extract_imprint_gradients",
+    "invert_gradient_pair",
+    "IMPRINT_WEIGHT",
+    "IMPRINT_BIAS",
+    "RTFAttack",
+    "CAHAttack",
+    "LinearClassifier",
+    "LinearModelInversion",
+]

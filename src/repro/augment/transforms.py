@@ -1,0 +1,175 @@
+"""Image transformations implementing Eqs. 2-5 of the OASIS paper.
+
+All transforms operate on a single image in (C, H, W) float layout with
+pixels in [0, 1] and return a new array of the same shape.
+
+Geometric conventions:
+
+- Rotation (Eq. 2) and shearing (Eq. 5) use *inverse mapping* about the
+  image centre with nearest-neighbour sampling; source coordinates falling
+  outside the canvas read as 0 (black), as in torchvision's default.
+- Major rotations (multiples of 90 degrees) are computed with exact array
+  rotations (``np.rot90``), which makes them lossless permutations of the
+  pixel grid.  This property is load-bearing: the paper's explanation of why
+  major rotation defeats RTF is that it "does not change the average of
+  pixel values" (Sec. IV-B) — a permutation preserves the mean exactly.
+- Flips (Eqs. 3-4) are exact axis reversals, also mean-preserving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _inverse_map(
+    image: np.ndarray,
+    matrix: np.ndarray,
+    preserve_mean: bool = True,
+) -> np.ndarray:
+    """Sample ``image`` through the inverse affine ``matrix`` about centre.
+
+    For each output pixel (i, j) in centred coordinates, the source location
+    is ``matrix @ (i, j)``; nearest-neighbour sampling.  Out-of-canvas
+    pixels are filled with the per-channel image mean (the raw-pixel
+    equivalent of the zero-fill used on *normalized* images in the paper's
+    PyTorch pipeline, where 0 is the dataset mean).
+
+    With ``preserve_mean`` (default) the result is additionally shifted by
+    a tiny constant so its global mean equals the input's exactly.  This is
+    the property the paper's defense analysis relies on ("it does not
+    change the average of pixel values", Sec. IV-B): the RTF measurement of
+    a transformed copy must match its original so both activate the same
+    neuron set (Proposition 1).  The shift is bounded by the lost-corner
+    deviation (well under 1% of the pixel range) and is imperceptible.
+    """
+    channels, height, width = image.shape
+    centre_i = (height - 1) / 2.0
+    centre_j = (width - 1) / 2.0
+    ii, jj = np.mgrid[0:height, 0:width].astype(np.float64)
+    ci = ii - centre_i
+    cj = jj - centre_j
+    src_i = matrix[0, 0] * ci + matrix[0, 1] * cj + centre_i
+    src_j = matrix[1, 0] * ci + matrix[1, 1] * cj + centre_j
+    src_i = np.rint(src_i).astype(np.int64)
+    src_j = np.rint(src_j).astype(np.int64)
+    inside = (src_i >= 0) & (src_i < height) & (src_j >= 0) & (src_j < width)
+    src_i_clipped = np.clip(src_i, 0, height - 1)
+    src_j_clipped = np.clip(src_j, 0, width - 1)
+    out = image[:, src_i_clipped, src_j_clipped].astype(np.float64)
+    channel_fill = image.reshape(channels, -1).mean(axis=1)
+    out = np.where(inside[None, :, :], out, channel_fill[:, None, None])
+    if preserve_mean:
+        out += float(image.mean()) - out.mean()
+    return out.astype(image.dtype, copy=False)
+
+
+def rotate(image: np.ndarray, degrees: float, preserve_mean: bool = True) -> np.ndarray:
+    """Rotate by ``degrees`` (Eq. 2): I'(i,j) = I(i cos t - j sin t, i sin t + j cos t).
+
+    Multiples of 90 degrees use the exact grid rotation, preserving the
+    pixel multiset (and hence the mean) bit-for-bit; other angles use
+    inverse mapping with mean fill (see :func:`_inverse_map`).
+    """
+    degrees = degrees % 360.0
+    if np.isclose(degrees % 90.0, 0.0):
+        quarter_turns = int(round(degrees / 90.0)) % 4
+        return np.rot90(image, k=quarter_turns, axes=(1, 2)).copy()
+    theta = np.deg2rad(degrees)
+    # Inverse of a rotation by theta is a rotation by -theta.
+    matrix = np.array(
+        [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+    )
+    return _inverse_map(image, matrix, preserve_mean=preserve_mean)
+
+
+def horizontal_flip(image: np.ndarray) -> np.ndarray:
+    """Reflect on the y-axis (Eq. 3): I'(i, j) = I(-i, j) in width coords."""
+    return np.flip(image, axis=2).copy()
+
+
+def vertical_flip(image: np.ndarray) -> np.ndarray:
+    """Reflect on the x-axis (Eq. 4): I'(i, j) = I(i, -j) in height coords."""
+    return np.flip(image, axis=1).copy()
+
+
+def shear(image: np.ndarray, factor: float, preserve_mean: bool = True) -> np.ndarray:
+    """Shear (Eq. 5): I'(i, j) = I(i + mu * j, j) about the image centre."""
+    matrix = np.array([[1.0, factor], [0.0, 1.0]])
+    return _inverse_map(image, matrix, preserve_mean=preserve_mean)
+
+
+class Transform:
+    """A named, parameterised image transformation."""
+
+    name = "identity"
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Identity(Transform):
+    name = "identity"
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return image.copy()
+
+
+class Rotate(Transform):
+    def __init__(self, degrees: float, preserve_mean: bool = True) -> None:
+        self.degrees = float(degrees)
+        self.preserve_mean = preserve_mean
+        self.name = f"rotate_{int(degrees)}"
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return rotate(image, self.degrees, preserve_mean=self.preserve_mean)
+
+    def __repr__(self) -> str:
+        return f"Rotate({self.degrees})"
+
+
+class HorizontalFlip(Transform):
+    name = "hflip"
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return horizontal_flip(image)
+
+
+class VerticalFlip(Transform):
+    name = "vflip"
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return vertical_flip(image)
+
+
+class Shear(Transform):
+    def __init__(self, factor: float, preserve_mean: bool = True) -> None:
+        self.factor = float(factor)
+        self.preserve_mean = preserve_mean
+        self.name = f"shear_{factor}"
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return shear(image, self.factor, preserve_mean=self.preserve_mean)
+
+    def __repr__(self) -> str:
+        return f"Shear({self.factor})"
+
+
+class Compose(Transform):
+    """Apply transforms in sequence (left to right)."""
+
+    def __init__(self, *transforms: Transform) -> None:
+        self.transforms = transforms
+        self.name = "+".join(t.name for t in transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        out = image
+        for transform in self.transforms:
+            out = transform(out)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose({inner})"

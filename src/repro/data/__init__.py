@@ -1,0 +1,22 @@
+"""Datasets and loaders: procedural ImageNet/CIFAR100 stand-ins."""
+
+from repro.data.loaders import DataLoader, class_balanced_batch
+from repro.data.synthetic import (
+    IMAGENETTE_CLASSES,
+    SyntheticImageDataset,
+    make_synthetic_dataset,
+    synthetic_cifar100,
+    synthetic_imagenet,
+    train_test_split,
+)
+
+__all__ = [
+    "SyntheticImageDataset",
+    "make_synthetic_dataset",
+    "synthetic_imagenet",
+    "synthetic_cifar100",
+    "train_test_split",
+    "DataLoader",
+    "class_balanced_batch",
+    "IMAGENETTE_CLASSES",
+]

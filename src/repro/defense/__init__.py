@@ -1,0 +1,38 @@
+"""Defenses: OASIS (the paper's contribution), analysis tools, baselines."""
+
+from repro.defense.analysis import ActivationOverlapReport, activation_overlap_report
+from repro.defense.base import ClientDefense, NoDefense
+from repro.defense.baselines import (
+    DPGradientDefense,
+    DPSGDDefense,
+    GradientPruningDefense,
+    TransformReplaceDefense,
+    defense_lineup,
+)
+from repro.defense.detection import DetectionReport, inspect_state
+from repro.defense.oasis import OasisDefense
+from repro.defense.tabular import (
+    GroupPermutation,
+    MeanPreservingJitter,
+    TabularOasisDefense,
+    TabularTransform,
+)
+
+__all__ = [
+    "ClientDefense",
+    "NoDefense",
+    "OasisDefense",
+    "DPGradientDefense",
+    "DPSGDDefense",
+    "GradientPruningDefense",
+    "TransformReplaceDefense",
+    "defense_lineup",
+    "ActivationOverlapReport",
+    "activation_overlap_report",
+    "TabularOasisDefense",
+    "TabularTransform",
+    "GroupPermutation",
+    "MeanPreservingJitter",
+    "inspect_state",
+    "DetectionReport",
+]

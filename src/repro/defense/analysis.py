@@ -1,0 +1,102 @@
+"""Proposition 1 analysis: activation-set overlap between images and transforms.
+
+Paper Sec. III-A proves that if ``x_t`` shares its *entire* set of activated
+malicious neurons with a companion ``x'_t``, the adversary cannot isolate
+``x_t``'s gradients from the batch sum.  These utilities measure how often
+that premise holds for a crafted attack layer, a batch, and an OASIS suite
+— turning the paper's theory into a checkable, testable quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.imprint import ImprintedModel, activation_matrix
+from repro.defense.oasis import OasisDefense
+
+
+@dataclass
+class ActivationOverlapReport:
+    """Per-batch summary of Proposition 1's premise.
+
+    Attributes
+    ----------
+    protected:
+        Boolean per original image: True when some companion activates an
+        identical neuron set (the proposition's sufficient condition).
+    sole_activations:
+        Number of attacked neurons activated by exactly one member of D'
+        (each is a perfect-reconstruction opportunity for the attacker).
+    jaccard:
+        Mean Jaccard similarity between each original's activation set and
+        its best-overlapping companion (1.0 = identical sets).
+    """
+
+    protected: np.ndarray
+    sole_activations: int
+    jaccard: np.ndarray
+
+    @property
+    def protected_fraction(self) -> float:
+        if len(self.protected) == 0:
+            return 0.0
+        return float(np.mean(self.protected))
+
+    @property
+    def mean_jaccard(self) -> float:
+        if len(self.jaccard) == 0:
+            return 0.0
+        return float(np.mean(self.jaccard))
+
+
+def _jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    union = np.logical_or(a, b).sum()
+    if union == 0:
+        return 1.0
+    return float(np.logical_and(a, b).sum() / union)
+
+
+def activation_overlap_report(
+    model: ImprintedModel,
+    defense: OasisDefense,
+    images: np.ndarray,
+    labels: np.ndarray,
+) -> ActivationOverlapReport:
+    """Evaluate Proposition 1's premise for a crafted model and a batch.
+
+    Expands the batch exactly as the client would, computes the boolean
+    activation matrix of the malicious layer over D', and checks, for every
+    original, whether any of its transformed companions activates the same
+    neuron set.
+    """
+    if len(images) == 0:
+        return ActivationOverlapReport(
+            protected=np.zeros(0, dtype=bool),
+            sole_activations=0,
+            jaccard=np.zeros(0),
+        )
+    expanded, _ = defense.expand_batch(images, labels)
+    weight, bias = model.imprint_parameters()
+    flat = expanded.reshape(len(expanded), -1).astype(np.float64)
+    activations = activation_matrix(weight, bias, flat)
+
+    batch_size = len(images)
+    protected = np.zeros(batch_size, dtype=bool)
+    jaccard = np.zeros(batch_size)
+    for t in range(batch_size):
+        row = activations[t]
+        best = 0.0
+        for companion in defense.companions_of(t, batch_size):
+            companion_row = activations[companion]
+            if np.array_equal(row, companion_row):
+                protected[t] = True
+            best = max(best, _jaccard(row, companion_row))
+        jaccard[t] = best
+
+    counts = activations.sum(axis=0)
+    sole = int(np.sum(counts == 1))
+    return ActivationOverlapReport(
+        protected=protected, sole_activations=sole, jaccard=jaccard
+    )

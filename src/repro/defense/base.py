@@ -1,0 +1,63 @@
+"""Client-side defense interface.
+
+A defense may act at two points of a client's local update:
+
+- ``process_batch``: preprocess the training batch *before* gradients are
+  computed (OASIS augments here; ATSPrivacy-style replaces here).
+- ``process_gradients``: post-process the computed gradients before upload
+  (DP noising and gradient pruning act here).
+
+Both hooks default to identity so defenses override only what they use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ClientDefense:
+    """No-op defense; base class for all client-side mechanisms."""
+
+    name = "none"
+
+    # When set (a positive float), the client computes per-example
+    # gradients, clips each to this L2 norm, and averages — the DP-SGD
+    # microbatch discipline.  None means ordinary batch gradients.
+    per_sample_clip: float | None = None
+
+    def process_batch(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return images, labels
+
+    def process_gradients(
+        self,
+        gradients: dict[str, np.ndarray],
+        rng: np.random.Generator,
+    ) -> dict[str, np.ndarray]:
+        return gradients
+
+    def finalize_update(
+        self,
+        gradients: dict[str, np.ndarray],
+        num_examples: int,
+        rng: np.random.Generator,
+    ) -> dict[str, np.ndarray]:
+        """Last hook before upload; defaults to :meth:`process_gradients`.
+
+        Defenses whose noise calibration depends on the batch size
+        (DP-SGD's sigma * C / B) override this instead.
+        """
+        return self.process_gradients(gradients, rng)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoDefense(ClientDefense):
+    """Explicit "WO" (without OASIS) arm of the paper's comparisons."""
+
+    name = "WO"

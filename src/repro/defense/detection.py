@@ -1,0 +1,110 @@
+"""Client-side malicious-model inspection.
+
+The paper's threat model notes the dishonest server keeps modifications
+"minimal to avoid detection" — implying clients could inspect incoming
+models.  This module implements that inspection as a complementary (not
+alternative) measure to OASIS: it flags the structural signatures of the
+known imprint attacks in a received state dict.
+
+Signatures checked per fully-connected weight/bias pair:
+
+- **RTF (structural)**: many identical (positively colinear) weight rows
+  with strictly monotone biases — the quantile-bin construction.
+- **CAH (functional)**: when the client probes the layer with its *own*
+  data, trap weights show an implausibly sparse activation profile —
+  nearly every neuron fires for only a small fraction of inputs, unlike
+  any conventionally initialized or trained layer.
+
+Detection is heuristic by design: a server aware of the detector can trade
+attack efficiency for stealth (e.g. noising rows), which is exactly why
+the paper pursues the input-side OASIS defense instead of detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DetectionReport:
+    """Findings from inspecting one model state."""
+
+    suspicious: bool
+    findings: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.suspicious
+
+
+def _linear_pairs(state: dict[str, np.ndarray]):
+    """Yield (name, weight, bias) for FC layers found in a state dict."""
+    for name, value in state.items():
+        if not name.endswith(".weight") or value.ndim != 2:
+            continue
+        bias_name = name[: -len(".weight")] + ".bias"
+        bias = state.get(bias_name)
+        if bias is not None and bias.ndim == 1 and bias.shape[0] == value.shape[0]:
+            yield name[: -len(".weight")], value, bias
+
+
+def _colinear_row_fraction(weight: np.ndarray, tolerance: float = 1e-6) -> float:
+    """Fraction of rows cosine-identical to the first nonzero row."""
+    norms = np.linalg.norm(weight, axis=1)
+    valid = norms > 1e-12
+    if valid.sum() < 2:
+        return 0.0
+    rows = weight[valid] / norms[valid][:, None]
+    reference = rows[0]
+    cosines = rows @ reference
+    return float(np.mean(cosines > 1.0 - tolerance))
+
+
+def inspect_state(
+    state: dict[str, np.ndarray],
+    probe_inputs: np.ndarray | None = None,
+    colinear_threshold: float = 0.9,
+    sparse_activation_threshold: float = 0.1,
+    sparse_neuron_fraction: float = 0.9,
+    min_neurons: int = 16,
+) -> DetectionReport:
+    """Scan a broadcast model state for imprint-attack signatures.
+
+    Parameters
+    ----------
+    state:
+        The broadcast state dict (as the client receives it).
+    probe_inputs:
+        Optional (num_probes, ...) array of the client's *own* samples.
+        When given, fully-connected layers whose input width matches the
+        flattened probe width are additionally checked for the CAH
+        trap-weight signature (implausibly sparse activations).
+    """
+    findings: list[str] = []
+    flat_probes = None
+    if probe_inputs is not None and len(probe_inputs) >= 8:
+        flat_probes = probe_inputs.reshape(len(probe_inputs), -1).astype(np.float64)
+    for layer, weight, bias in _linear_pairs(state):
+        if weight.shape[0] < min_neurons:
+            continue
+        colinear = _colinear_row_fraction(weight)
+        monotone = bool(
+            np.all(np.diff(bias) < 0.0) or np.all(np.diff(bias) > 0.0)
+        )
+        if colinear >= colinear_threshold and monotone:
+            findings.append(
+                f"{layer}: {100 * colinear:.0f}% identical weight rows with "
+                "monotone biases (RTF-style quantile imprint)"
+            )
+            continue
+        if flat_probes is not None and weight.shape[1] == flat_probes.shape[1]:
+            rates = ((flat_probes @ weight.T + bias) > 0.0).mean(axis=0)
+            sparse = float(np.mean(rates < sparse_activation_threshold))
+            if sparse >= sparse_neuron_fraction:
+                findings.append(
+                    f"{layer}: {100 * sparse:.0f}% of neurons fire for <"
+                    f"{100 * sparse_activation_threshold:.0f}% of local data "
+                    "(CAH-style trap weights)"
+                )
+    return DetectionReport(suspicious=bool(findings), findings=findings)

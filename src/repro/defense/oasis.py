@@ -1,0 +1,83 @@
+"""The OASIS defense (paper Sec. III-B, Eq. 7).
+
+For every image ``x_t`` in the local batch ``D``, OASIS builds the set
+``X'_t`` of transformed counterparts via a
+:class:`~repro.augment.TransformSuite` and trains on
+
+    D' = D  ∪  X'_1 ∪ ... ∪ X'_B            (Eq. 7)
+
+with each transformed image inheriting its original's label.  When an image
+and its transforms activate the same attacked neurons (Proposition 1), the
+best an active reconstruction attack can extract is a linear combination of
+the image and its transforms — an unrecognizable overlap — while the extra
+augmented data preserves (often improves) model generalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.augment.suites import TransformSuite, suite_by_name
+from repro.defense.base import ClientDefense
+
+
+class OasisDefense(ClientDefense):
+    """Batch expansion with a transformation suite (the paper's defense).
+
+    Parameters
+    ----------
+    suite:
+        A :class:`TransformSuite` or a paper name ("MR", "mR", "SH",
+        "HFlip", "VFlip", "MR+SH").
+    include_original:
+        Keep the original images in D' (Eq. 7 unions them in; disabling
+        this turns OASIS into the weaker replace-style defense and exists
+        only for ablations).
+    """
+
+    def __init__(self, suite: TransformSuite | str, include_original: bool = True) -> None:
+        if isinstance(suite, str):
+            suite = suite_by_name(suite)
+        self.suite = suite
+        self.include_original = include_original
+        self.name = suite.name
+
+    def expansion_factor(self) -> int:
+        """|D'| / |D|: one original plus one image per transform."""
+        return len(self.suite) + (1 if self.include_original else 0)
+
+    def expand_batch(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Construct D' (Eq. 7): originals first, then transform blocks.
+
+        Output ordering is deterministic: ``images`` then, for each
+        transform in the suite, the transformed copies of the whole batch.
+        The companion indices of original ``t`` are thus
+        ``B*(k+1) + t`` for transform index ``k``.
+        """
+        if len(images) == 0:
+            return images.copy(), labels.copy()
+        blocks = [images] if self.include_original else []
+        label_blocks = [labels] if self.include_original else []
+        for transform in self.suite.transforms:
+            transformed = np.stack([transform(image) for image in images])
+            blocks.append(transformed.astype(images.dtype, copy=False))
+            label_blocks.append(labels.copy())
+        return np.concatenate(blocks, axis=0), np.concatenate(label_blocks, axis=0)
+
+    def companions_of(self, index: int, batch_size: int) -> list[int]:
+        """Indices in D' of the transformed copies of original ``index``."""
+        offset = 1 if self.include_original else 0
+        return [batch_size * (k + offset) + index for k in range(len(self.suite))]
+
+    def process_batch(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.expand_batch(images, labels)
+
+    def __repr__(self) -> str:
+        return f"OasisDefense(suite={self.suite.name!r})"

@@ -1,0 +1,79 @@
+"""Per-figure/table experiment harnesses for the paper's evaluation."""
+
+from repro.experiments.ats_comparison import ATSComparisonResult, run_ats_comparison
+from repro.experiments.attack_sweep import (
+    PAPER_BATCH_SIZES,
+    PAPER_NEURON_COUNTS,
+    SweepResult,
+    monotone_in_batch_size,
+    run_sweep,
+)
+from repro.experiments.defense_eval import (
+    FIG5_LINEUP,
+    FIG6_LINEUP,
+    FIG13_LINEUP,
+    PAPER_SETTINGS,
+    DefenseLineupResult,
+    run_defense_lineup,
+    run_linear_lineup,
+)
+from repro.experiments.model_perf import (
+    TABLE1_LINEUP,
+    TrainingOutcome,
+    run_table1,
+    table1_report,
+    train_with_defense,
+)
+from repro.experiments.paper_summary import build_paper_summary, summary_holds
+from repro.experiments.reporting import (
+    PaperComparison,
+    comparison_table,
+    format_table,
+    render_ascii_image,
+    side_by_side,
+)
+from repro.experiments.runner import (
+    AttackTrialResult,
+    average_over_trials,
+    make_attack,
+    run_attack_trial,
+    run_linear_trial,
+)
+from repro.experiments.visual import Gallery, reconstruction_gallery, render_pairs
+
+__all__ = [
+    "run_attack_trial",
+    "run_linear_trial",
+    "average_over_trials",
+    "make_attack",
+    "AttackTrialResult",
+    "run_sweep",
+    "monotone_in_batch_size",
+    "SweepResult",
+    "PAPER_BATCH_SIZES",
+    "PAPER_NEURON_COUNTS",
+    "run_defense_lineup",
+    "run_linear_lineup",
+    "DefenseLineupResult",
+    "PAPER_SETTINGS",
+    "FIG5_LINEUP",
+    "FIG6_LINEUP",
+    "FIG13_LINEUP",
+    "run_table1",
+    "train_with_defense",
+    "table1_report",
+    "TrainingOutcome",
+    "TABLE1_LINEUP",
+    "run_ats_comparison",
+    "ATSComparisonResult",
+    "reconstruction_gallery",
+    "render_pairs",
+    "Gallery",
+    "format_table",
+    "render_ascii_image",
+    "side_by_side",
+    "PaperComparison",
+    "build_paper_summary",
+    "summary_holds",
+    "comparison_table",
+]

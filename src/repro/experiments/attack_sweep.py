@@ -1,0 +1,98 @@
+"""Figures 3 & 4: attack-strength sweep over batch size and attacked neurons.
+
+The paper tunes each attack to its strongest configuration by sweeping the
+batch size B in {8..256} and the number of attacked neurons n in
+{100..1000}, reporting the average PSNR of reconstructions without any
+defense.  The expected shape: PSNR falls as B grows (more gradient mixing)
+and generally rises with n (more bins/traps), with the per-B optimum read
+off the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import average_over_trials
+
+PAPER_BATCH_SIZES = (8, 16, 32, 64, 96, 128, 160, 192, 224, 256)
+PAPER_NEURON_COUNTS = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+
+
+@dataclass
+class SweepResult:
+    """Average-PSNR grid indexed by (neuron count, batch size)."""
+
+    attack: str
+    dataset: str
+    batch_sizes: tuple[int, ...]
+    neuron_counts: tuple[int, ...]
+    grid: np.ndarray  # shape (len(neuron_counts), len(batch_sizes))
+    optima: dict[int, tuple[int, float]] = field(default_factory=dict)
+
+    def compute_optima(self) -> None:
+        """Per batch size, the neuron count with the highest average PSNR."""
+        for j, batch_size in enumerate(self.batch_sizes):
+            best_i = int(np.argmax(self.grid[:, j]))
+            self.optima[batch_size] = (
+                self.neuron_counts[best_i],
+                float(self.grid[best_i, j]),
+            )
+
+    def to_table(self) -> str:
+        headers = ["n \\ B"] + [str(b) for b in self.batch_sizes]
+        rows = []
+        for i, n in enumerate(self.neuron_counts):
+            rows.append([str(n)] + [f"{v:.1f}" for v in self.grid[i]])
+        return format_table(headers, rows)
+
+
+def run_sweep(
+    dataset: SyntheticImageDataset,
+    attack_name: str,
+    batch_sizes: tuple[int, ...] = PAPER_BATCH_SIZES,
+    neuron_counts: tuple[int, ...] = PAPER_NEURON_COUNTS,
+    num_trials: int = 2,
+    seed: int = 0,
+) -> SweepResult:
+    """Reproduce one panel of Fig. 3 (RTF) or Fig. 4 (CAH)."""
+    grid = np.zeros((len(neuron_counts), len(batch_sizes)))
+    for i, num_neurons in enumerate(neuron_counts):
+        for j, batch_size in enumerate(batch_sizes):
+            if batch_size > len(dataset):
+                grid[i, j] = np.nan
+                continue
+            grid[i, j], _ = average_over_trials(
+                dataset,
+                attack_name,
+                batch_size,
+                num_neurons,
+                num_trials=num_trials,
+                seed=seed,
+            )
+    result = SweepResult(
+        attack=attack_name,
+        dataset=dataset.name,
+        batch_sizes=tuple(batch_sizes),
+        neuron_counts=tuple(neuron_counts),
+        grid=grid,
+    )
+    result.compute_optima()
+    return result
+
+
+def monotone_in_batch_size(result: SweepResult) -> float:
+    """Fraction of neuron rows whose PSNR trend decreases from B_min to B_max.
+
+    The paper's stated shape: "reconstruction attacks perform worse with
+    larger batch sizes".  1.0 means every row agrees end-to-end.
+    """
+    first = result.grid[:, 0]
+    last = result.grid[:, -1]
+    valid = ~(np.isnan(first) | np.isnan(last))
+    if not valid.any():
+        return 0.0
+    return float(np.mean(first[valid] > last[valid]))

@@ -1,0 +1,135 @@
+"""Figures 5, 6, 13: per-transformation defensive performance.
+
+Each experiment fixes the attack at its strongest (B, n) configuration from
+the Fig. 3/4 sweeps and compares the PSNR distribution of reconstructions
+under each OASIS transformation suite against the no-defense baseline (WO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.defense.base import NoDefense
+from repro.defense.oasis import OasisDefense
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_attack_trial, run_linear_trial
+
+# The paper's strongest-attack settings (read off Figs. 3-4, Sec. IV-A).
+PAPER_SETTINGS = {
+    ("rtf", "imagenet"): {8: 900, 64: 800},
+    ("rtf", "cifar100"): {8: 500, 64: 600},
+    ("cah", "imagenet"): {8: 100, 64: 700},
+    ("cah", "cifar100"): {8: 300, 64: 600},
+}
+
+FIG5_LINEUP = ("WO", "MR", "mR", "SH", "HFlip", "VFlip")
+FIG6_LINEUP = ("WO", "SH", "MR", "MR+SH")
+FIG13_LINEUP = ("WO", "MR", "mR", "SH", "HFlip", "VFlip")
+
+
+@dataclass
+class DefenseLineupResult:
+    """PSNR distributions per defense arm for one (attack, B, n) setting."""
+
+    attack: str
+    dataset: str
+    batch_size: int
+    num_neurons: int
+    distributions: dict[str, np.ndarray]
+
+    def averages(self) -> dict[str, float]:
+        return {
+            name: (float(np.mean(values)) if len(values) else 0.0)
+            for name, values in self.distributions.items()
+        }
+
+    def to_table(self) -> str:
+        rows = []
+        for name, values in self.distributions.items():
+            if len(values) == 0:
+                rows.append([name, 0, "-", "-", "-", "-"])
+                continue
+            rows.append(
+                [
+                    name,
+                    len(values),
+                    f"{np.mean(values):.1f}",
+                    f"{np.median(values):.1f}",
+                    f"{np.min(values):.1f}",
+                    f"{np.max(values):.1f}",
+                ]
+            )
+        return format_table(
+            ["defense", "#recon", "mean", "median", "min", "max"], rows
+        )
+
+
+def _defense_for(name: str):
+    if name == "WO":
+        return NoDefense()
+    return OasisDefense(name)
+
+
+def run_defense_lineup(
+    dataset: SyntheticImageDataset,
+    attack_name: str,
+    batch_size: int,
+    num_neurons: int,
+    lineup: tuple[str, ...],
+    num_trials: int = 2,
+    seed: int = 0,
+) -> DefenseLineupResult:
+    """One panel of Fig. 5 (RTF) / Fig. 6 (CAH): PSNRs per transformation."""
+    distributions: dict[str, np.ndarray] = {}
+    for defense_name in lineup:
+        scores: list[float] = []
+        for trial in range(num_trials):
+            result = run_attack_trial(
+                dataset,
+                attack_name,
+                batch_size,
+                num_neurons,
+                defense=_defense_for(defense_name),
+                seed=seed + 31 * trial,
+            )
+            scores.extend(result.psnrs)
+        distributions[defense_name] = np.array(scores)
+    return DefenseLineupResult(
+        attack=attack_name,
+        dataset=dataset.name,
+        batch_size=batch_size,
+        num_neurons=num_neurons,
+        distributions=distributions,
+    )
+
+
+def run_linear_lineup(
+    dataset: SyntheticImageDataset,
+    batch_size: int,
+    lineup: tuple[str, ...] = FIG13_LINEUP,
+    num_trials: int = 2,
+    seed: int = 0,
+) -> DefenseLineupResult:
+    """One panel of Fig. 13: the linear-model attack per transformation."""
+    distributions: dict[str, np.ndarray] = {}
+    for defense_name in lineup:
+        scores: list[float] = []
+        for trial in range(num_trials):
+            result = run_linear_trial(
+                dataset,
+                batch_size,
+                defense=_defense_for(defense_name),
+                seed=seed + 31 * trial,
+            )
+            scores.extend(result.psnrs)
+        distributions[defense_name] = np.array(scores)
+    return DefenseLineupResult(
+        attack="linear",
+        dataset=dataset.name,
+        batch_size=batch_size,
+        num_neurons=0,
+        distributions=distributions,
+    )

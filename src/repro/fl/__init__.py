@@ -1,0 +1,34 @@
+"""Federated learning simulator: clients, servers, rounds, aggregation."""
+
+from repro.fl.client import Client
+from repro.fl.gradients import (
+    average_gradients,
+    clip_gradient_dict,
+    compute_batch_gradients,
+    compute_defended_update,
+    per_sample_gradients,
+)
+from repro.fl.messages import GradientUpdate, ModelBroadcast, RoundRecord
+from repro.fl.server import DishonestServer, Server
+from repro.fl.simulator import (
+    FederatedSimulation,
+    FederationConfig,
+    partition_dataset,
+)
+
+__all__ = [
+    "Client",
+    "Server",
+    "DishonestServer",
+    "GradientUpdate",
+    "ModelBroadcast",
+    "RoundRecord",
+    "compute_batch_gradients",
+    "compute_defended_update",
+    "clip_gradient_dict",
+    "per_sample_gradients",
+    "average_gradients",
+    "FederatedSimulation",
+    "FederationConfig",
+    "partition_dataset",
+]

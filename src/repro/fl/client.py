@@ -1,0 +1,63 @@
+"""An FL client: local data, optional client-side defense, honest training.
+
+Clients are *honest* in the paper's threat model — they faithfully train
+whatever model the server sends.  Their only protection is local batch
+preprocessing (OASIS) or gradient post-processing (DP, pruning), applied
+through a pluggable :class:`~repro.defense.ClientDefense`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.defense.base import ClientDefense, NoDefense
+from repro.fl.gradients import compute_defended_update
+from repro.fl.messages import GradientUpdate, ModelBroadcast
+from repro.nn.module import Module
+
+
+class Client:
+    """One federated participant with a private local dataset."""
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: SyntheticImageDataset,
+        model: Module,
+        loss_fn: Module,
+        batch_size: int,
+        defense: Optional[ClientDefense] = None,
+        seed: int = 0,
+    ) -> None:
+        self.client_id = client_id
+        self.dataset = dataset
+        self.model = model
+        self.loss_fn = loss_fn
+        self.batch_size = min(batch_size, len(dataset))
+        self.defense = defense if defense is not None else NoDefense()
+        self._rng = np.random.default_rng((seed, client_id))
+        self.last_batch: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    def local_update(self, broadcast: ModelBroadcast) -> GradientUpdate:
+        """One round of honest local training on the received model.
+
+        Loads the (possibly malicious) global state, samples a private
+        batch, applies the defense's batch hook, computes gradients, applies
+        the defense's gradient hook, and uploads.
+        """
+        self.model.load_state_dict(broadcast.state)
+        images, labels = self.dataset.sample_batch(self.batch_size, self._rng)
+        self.last_batch = (images.copy(), labels.copy())
+        gradients, loss, num_examples = compute_defended_update(
+            self.model, self.loss_fn, images, labels, self.defense, self._rng
+        )
+        return GradientUpdate(
+            client_id=self.client_id,
+            round_index=broadcast.round_index,
+            num_examples=num_examples,
+            gradients=gradients,
+            loss=loss,
+        )

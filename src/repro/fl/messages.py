@@ -1,0 +1,40 @@
+"""Protocol messages exchanged between the FL server and clients."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ModelBroadcast:
+    """Server -> client: the global model for the current round.
+
+    A dishonest server may have manipulated ``state`` before sending
+    (paper threat model, Sec. III-A); clients cannot tell.
+    """
+
+    round_index: int
+    state: dict[str, np.ndarray]
+
+
+@dataclass
+class GradientUpdate:
+    """Client -> server: gradients computed on the local batch (Eq. 1)."""
+
+    client_id: int
+    round_index: int
+    num_examples: int
+    gradients: dict[str, np.ndarray]
+    loss: float = 0.0
+
+
+@dataclass
+class RoundRecord:
+    """Bookkeeping for one completed FL round."""
+
+    round_index: int
+    participant_ids: list[int]
+    mean_loss: float
+    attack_events: list[dict] = field(default_factory=list)

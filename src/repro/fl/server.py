@@ -1,0 +1,153 @@
+"""FL servers: the honest coordinator and the actively dishonest attacker.
+
+:class:`Server` implements the paper's Sec. II-A protocol: per round,
+sample ``M`` of ``N`` clients, broadcast the global parameters, average the
+returned gradients, and take a gradient step (Eq. 1).
+
+:class:`DishonestServer` additionally manipulates the global model before
+broadcasting (the paper's threat model) and runs gradient inversion on a
+targeted client's update.  It still performs the normal aggregation so the
+protocol looks honest from the outside.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import ActiveReconstructionAttack, ReconstructionResult
+from repro.fl.client import Client
+from repro.fl.gradients import average_gradients
+from repro.fl.messages import GradientUpdate, ModelBroadcast, RoundRecord
+from repro.nn.module import Module
+
+
+class Server:
+    """Honest FL coordinator implementing gradient-averaged FedSGD (Eq. 1)."""
+
+    def __init__(
+        self,
+        model: Module,
+        clients: Sequence[Client],
+        learning_rate: float = 0.1,
+        clients_per_round: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if not clients:
+            raise ValueError("server needs at least one client")
+        self.model = model
+        self.clients = list(clients)
+        self.learning_rate = learning_rate
+        self.clients_per_round = clients_per_round or len(self.clients)
+        self.clients_per_round = min(self.clients_per_round, len(self.clients))
+        self._rng = np.random.default_rng(seed)
+        self.round_index = 0
+        self.history: list[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    # Hooks a dishonest subclass overrides
+    # ------------------------------------------------------------------
+    def prepare_broadcast(self) -> ModelBroadcast:
+        """Build the round's broadcast; honest servers send the true state."""
+        return ModelBroadcast(
+            round_index=self.round_index, state=self.model.state_dict()
+        )
+
+    def inspect_updates(self, updates: list[GradientUpdate]) -> list[dict]:
+        """Hook called with raw client updates; honest servers do nothing."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def select_clients(self) -> list[Client]:
+        indices = self._rng.choice(
+            len(self.clients), size=self.clients_per_round, replace=False
+        )
+        return [self.clients[i] for i in indices]
+
+    def apply_aggregate(self, aggregated: dict[str, np.ndarray]) -> None:
+        """w_{t+1} = w_t - eta * mean gradient (Eq. 1)."""
+        params = dict(self.model.named_parameters())
+        for name, gradient in aggregated.items():
+            if name in params:
+                params[name].data -= self.learning_rate * gradient
+
+    def run_round(self) -> RoundRecord:
+        broadcast = self.prepare_broadcast()
+        participants = self.select_clients()
+        updates = [client.local_update(broadcast) for client in participants]
+        attack_events = self.inspect_updates(updates)
+        aggregated = average_gradients([u.gradients for u in updates])
+        self.apply_aggregate(aggregated)
+        record = RoundRecord(
+            round_index=self.round_index,
+            participant_ids=[u.client_id for u in updates],
+            mean_loss=float(np.mean([u.loss for u in updates])),
+            attack_events=attack_events,
+        )
+        self.history.append(record)
+        self.round_index += 1
+        return record
+
+    def run(self, num_rounds: int) -> list[RoundRecord]:
+        return [self.run_round() for _ in range(num_rounds)]
+
+
+class DishonestServer(Server):
+    """An actively dishonest server running a reconstruction attack.
+
+    Before each broadcast it lets ``attack.craft`` overwrite the malicious
+    layer of the global model; after collecting updates it inverts the
+    targeted client's gradients.  Reconstructions are stored in
+    :attr:`reconstructions` keyed by round.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        clients: Sequence[Client],
+        attack: ActiveReconstructionAttack,
+        target_client_id: Optional[int] = None,
+        learning_rate: float = 0.1,
+        clients_per_round: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            model,
+            clients,
+            learning_rate=learning_rate,
+            clients_per_round=clients_per_round,
+            seed=seed,
+        )
+        self.attack = attack
+        self.target_client_id = target_client_id
+        self.reconstructions: dict[int, ReconstructionResult] = {}
+
+    def prepare_broadcast(self) -> ModelBroadcast:
+        self.attack.craft(self.model)
+        return ModelBroadcast(
+            round_index=self.round_index, state=self.model.state_dict()
+        )
+
+    def inspect_updates(self, updates: list[GradientUpdate]) -> list[dict]:
+        events = []
+        for update in updates:
+            targeted = (
+                self.target_client_id is None
+                or update.client_id == self.target_client_id
+            )
+            if not targeted:
+                continue
+            result = self.attack.reconstruct(update.gradients)
+            self.reconstructions[update.round_index] = result
+            events.append(
+                {
+                    "round": update.round_index,
+                    "client_id": update.client_id,
+                    "num_reconstructions": len(result),
+                    "attack": self.attack.name,
+                }
+            )
+        return events

@@ -1,0 +1,116 @@
+"""High-level federated simulation: partitioning, assembly, evaluation.
+
+Convenience layer that turns a dataset + model factory + defense into a
+running federation, so examples and experiments stay short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.defense.base import ClientDefense
+from repro.fl.client import Client
+from repro.fl.server import DishonestServer, Server
+from repro.metrics.accuracy import accuracy
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+
+
+def partition_dataset(
+    dataset: SyntheticImageDataset,
+    num_clients: int,
+    seed: int = 0,
+) -> list[SyntheticImageDataset]:
+    """IID partition of a dataset into ``num_clients`` equal shards."""
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if len(dataset) < num_clients:
+        raise ValueError("fewer samples than clients")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    shards = np.array_split(order, num_clients)
+    return [dataset.subset(shard) for shard in shards]
+
+
+@dataclass
+class FederationConfig:
+    """Knobs for assembling a simulation."""
+
+    num_clients: int = 10
+    clients_per_round: Optional[int] = None
+    batch_size: int = 8
+    learning_rate: float = 0.1
+    seed: int = 0
+
+
+class FederatedSimulation:
+    """A ready-to-run federation over one dataset.
+
+    ``model_factory`` must return a fresh model of identical architecture
+    each call; clients each hold their own instance (as real devices would)
+    and synchronize through state dicts.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        model_factory: Callable[[], Module],
+        config: FederationConfig,
+        defense: Optional[ClientDefense] = None,
+        attack=None,
+        target_client_id: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        shards = partition_dataset(dataset, config.num_clients, seed=config.seed)
+        loss_fn = CrossEntropyLoss()
+        self.clients = [
+            Client(
+                client_id=i,
+                dataset=shard,
+                model=model_factory(),
+                loss_fn=loss_fn,
+                batch_size=config.batch_size,
+                defense=defense,
+                seed=config.seed,
+            )
+            for i, shard in enumerate(shards)
+        ]
+        global_model = model_factory()
+        if attack is None:
+            self.server: Server = Server(
+                global_model,
+                self.clients,
+                learning_rate=config.learning_rate,
+                clients_per_round=config.clients_per_round,
+                seed=config.seed,
+            )
+        else:
+            self.server = DishonestServer(
+                global_model,
+                self.clients,
+                attack=attack,
+                target_client_id=target_client_id,
+                learning_rate=config.learning_rate,
+                clients_per_round=config.clients_per_round,
+                seed=config.seed,
+            )
+
+    def run(self, num_rounds: int):
+        return self.server.run(num_rounds)
+
+    def evaluate(self, dataset: SyntheticImageDataset, batch_size: int = 64) -> float:
+        """Top-1 accuracy of the current global model on ``dataset``."""
+        model = self.server.model
+        model.eval()
+        logits_all = []
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                images = dataset.images[start : start + batch_size].astype(np.float64)
+                logits_all.append(model(Tensor(images)).numpy())
+        model.train()
+        return accuracy(np.concatenate(logits_all), dataset.labels)

@@ -1,0 +1,29 @@
+"""Evaluation metrics: PSNR (attack success), SSIM, accuracy."""
+
+from repro.metrics.accuracy import accuracy, top_k_accuracy
+from repro.metrics.image_quality import image_entropy, ssim
+from repro.metrics.psnr import (
+    MSE_FLOOR,
+    PSNR_CEILING,
+    average_attack_psnr,
+    best_match_psnr,
+    match_reconstructions,
+    mse,
+    per_image_best_psnr,
+    psnr,
+)
+
+__all__ = [
+    "psnr",
+    "mse",
+    "best_match_psnr",
+    "match_reconstructions",
+    "average_attack_psnr",
+    "per_image_best_psnr",
+    "MSE_FLOOR",
+    "PSNR_CEILING",
+    "ssim",
+    "image_entropy",
+    "accuracy",
+    "top_k_accuracy",
+]

@@ -1,0 +1,25 @@
+"""Classification accuracy metrics for the model-performance experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy from raw logits (N, K) vs integer labels (N,)."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (N, K)")
+    predictions = logits.argmax(axis=1)
+    return float((predictions == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy: fraction of samples whose label is in the k best logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,148 @@
+"""Module/Parameter abstractions mirroring ``torch.nn``.
+
+Modules own named :class:`Parameter` leaves and named buffers (non-trainable
+state such as batch-norm running statistics).  The federated-learning
+simulator serializes models through :meth:`Module.state_dict` /
+:meth:`Module.load_state_dict`, so both must round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable leaf of a module."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network components.
+
+    Subclasses assign :class:`Parameter`, :class:`Module` and numpy-array
+    buffers as attributes; registration is automatic via ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable persistent state (e.g. running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            # Read through the attribute so in-place replacement is visible.
+            yield prefix + name, getattr(self, name)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    # ------------------------------------------------------------------
+    # Modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization (used by the FL server/client message exchange)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buffer in self.named_buffers():
+            state[name] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = []
+        for name, value in state.items():
+            if name in params:
+                params[name].data = np.asarray(value, dtype=params[name].data.dtype).copy()
+            else:
+                if not self._load_buffer(name, value):
+                    missing.append(name)
+        if missing:
+            raise KeyError(f"state entries not found in module: {missing}")
+
+    def _load_buffer(self, dotted: str, value: np.ndarray) -> bool:
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            if part not in module._modules:
+                return False
+            module = module._modules[part]
+        leaf = parts[-1]
+        if leaf not in module._buffers:
+            return False
+        buffer = getattr(module, leaf)
+        np.copyto(buffer, value)
+        return True
+
+    def grad_dict(self) -> dict[str, np.ndarray]:
+        """Return a name -> gradient mapping (zeros when grad is absent)."""
+        grads = {}
+        for name, param in self.named_parameters():
+            if param.grad is None:
+                grads[name] = np.zeros_like(param.data)
+            else:
+                grads[name] = param.grad.copy()
+        return grads
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        return sum(param.size for param in self.parameters())

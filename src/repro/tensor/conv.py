@@ -1,0 +1,210 @@
+"""Convolution and pooling primitives built on im2col.
+
+These operations complete the autograd engine with the spatial ops required
+by the ResNet-18 evaluation model of the OASIS paper.  All ops take and
+return :class:`~repro.tensor.Tensor` in NCHW layout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _im2col_indices(
+    height: int, width: int, kernel: int, stride: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Return gather indices mapping an image to its patch matrix."""
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    i0 = np.repeat(np.arange(kernel), kernel)
+    j0 = np.tile(np.arange(kernel), kernel)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    return rows, cols, out_h, out_w
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, tuple]:
+    """Rearrange ``x`` (N,C,H,W) into columns of shape (N, C*k*k, L)."""
+    n, c, h, w = x.shape
+    rows, cols, out_h, out_w = _im2col_indices(h, w, kernel, stride)
+    # (N, C, k*k, L)
+    patches = x[:, :, rows, cols]
+    return patches.reshape(n, c * kernel * kernel, -1), (rows, cols, out_h, out_w)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    rows: np.ndarray,
+    col_idx: np.ndarray,
+) -> np.ndarray:
+    """Scatter-add column gradients back to image layout (inverse of im2col)."""
+    n, c, h, w = x_shape
+    grad = np.zeros((n, c, h, w), dtype=cols.dtype)
+    patches = cols.reshape(n, c, kernel * kernel, -1)
+    np.add.at(grad, (slice(None), slice(None), rows, col_idx), patches)
+    return grad
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2D cross-correlation (the deep-learning "convolution").
+
+    Parameters
+    ----------
+    x: input of shape (N, C_in, H, W)
+    weight: kernel of shape (C_out, C_in, k, k)
+    bias: optional per-channel bias of shape (C_out,)
+    """
+    if padding:
+        x = x.pad2d(padding)
+    n, c_in, h, w = x.shape
+    c_out, _, kernel, _ = weight.shape
+    cols, (rows, col_idx, out_h, out_w) = _im2col(x.data, kernel, stride)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1)
+    out = out.reshape(n, c_out, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(result: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            grad_out = result.grad.reshape(n, c_out, -1)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad_out.sum(axis=(0, 2)))
+            if weight.requires_grad:
+                grad_w = np.einsum("nol,nfl->of", grad_out, cols, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("of,nol->nfl", w_mat, grad_out, optimize=True)
+                x._accumulate(_col2im(grad_cols, x.shape, kernel, rows, col_idx))
+
+        return run
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride if stride is not None else kernel
+    n, c, h, w = x.shape
+    cols, (rows, col_idx, out_h, out_w) = _im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, stride
+    )
+    # cols: (N*C, k*k, L)
+    argmax = cols.argmax(axis=1)
+    out = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(result: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            if not x.requires_grad:
+                return
+            grad_out = result.grad.reshape(n * c, 1, -1)
+            grad_cols = np.zeros_like(cols)
+            np.put_along_axis(grad_cols, argmax[:, None, :], grad_out, axis=1)
+            grad = _col2im(grad_cols, (n * c, 1, h, w), kernel, rows, col_idx)
+            x._accumulate(grad.reshape(n, c, h, w))
+
+        return run
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over windows."""
+    stride = stride if stride is not None else kernel
+    n, c, h, w = x.shape
+    cols, (rows, col_idx, out_h, out_w) = _im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, stride
+    )
+    out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    window = kernel * kernel
+
+    def backward(result: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            if not x.requires_grad:
+                return
+            grad_out = result.grad.reshape(n * c, 1, -1) / window
+            grad_cols = np.broadcast_to(grad_out, cols.shape)
+            grad = _col2im(grad_cols, (n * c, 1, h, w), kernel, rows, col_idx)
+            x._accumulate(grad.reshape(n, c, h, w))
+
+        return run
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Adaptive average pooling to 1x1, returned as (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Fused batch normalization over (N, H, W) per channel.
+
+    Updates ``running_mean``/``running_var`` in place while ``training``.
+    ``x`` may be (N, C) or (N, C, H, W).
+    """
+    spatial = x.ndim == 4
+    axes = (0, 2, 3) if spatial else (0,)
+    shape = (1, -1, 1, 1) if spatial else (1, -1)
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = x.data.size // x.shape[1]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward(result: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            grad_out = result.grad
+            if beta.requires_grad:
+                beta._accumulate(grad_out.sum(axis=axes))
+            if gamma.requires_grad:
+                gamma._accumulate((grad_out * x_hat).sum(axis=axes))
+            if not x.requires_grad:
+                return
+            if training:
+                count = x.data.size // x.shape[1]
+                g = grad_out * gamma.data.reshape(shape)
+                mean_g = g.mean(axis=axes, keepdims=True)
+                mean_gx = (g * x_hat).mean(axis=axes, keepdims=True)
+                grad_x = (g - mean_g - x_hat * mean_gx) * inv_std.reshape(shape)
+                # The three-term formula above already folds in the count.
+                del count
+            else:
+                grad_x = grad_out * gamma.data.reshape(shape) * inv_std.reshape(shape)
+            x._accumulate(grad_x)
+
+        return run
+
+    return Tensor._make(out, (x, gamma, beta), backward)

@@ -1,0 +1,566 @@
+"""A numpy-backed tensor with reverse-mode automatic differentiation.
+
+This module provides the differentiable :class:`Tensor` used by every other
+subsystem in the repository (the neural-network library, the federated
+learning simulator, and the reconstruction attacks).  The reconstruction
+attacks in the OASIS paper rely on *exact* gradient algebra — notably the
+identity ``dL/dW_i = (dL/db_i) * x`` for a ReLU-gated linear layer — so the
+implementation favours numerical exactness (float64 by default) and
+PyTorch-compatible gradient accumulation semantics (gradients of a batch are
+summed over the batch dimension).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.tensor.autograd import is_grad_enabled, topological_order
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+DEFAULT_DTYPE = np.float64
+
+
+def _as_array(data: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A multi-dimensional array that records operations for autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` unless another dtype is
+        supplied.
+    requires_grad:
+        When True, operations involving this tensor build a backward graph
+        and :meth:`backward` accumulates into :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        dtype=DEFAULT_DTYPE,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data, dtype)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: tuple["Tensor", ...] = ()
+        self._backward: Optional[Callable[[], None]] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad, dtype=self.data.dtype)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[["Tensor"], Callable[[], None]],
+    ) -> "Tensor":
+        """Build an op result, attaching the graph only in grad mode."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
+        if requires:
+            out._parents = tuple(p for p in parents if p.requires_grad or p._parents)
+            out._backward = backward(out)
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar outputs (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad, self.data.dtype)
+        self._accumulate(grad)
+        for node in reversed(topological_order(self)):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(_as_array(other, self.data.dtype))
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
+
+            return run
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(-out.grad)
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(-self._coerce(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__add__(-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+            return run
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                if other.requires_grad:
+                    grad_other = -out.grad * self.data / (other.data ** 2)
+                    other._accumulate(_unbroadcast(grad_other, other.shape))
+
+            return run
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * mask)
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * data)
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad / self.data)
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self.__pow__(0.5)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * (1.0 - data ** 2))
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * data * (1.0 - data))
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * sign)
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * mask)
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix operations
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    if other.data.ndim == 1:
+                        self._accumulate(np.outer(out.grad, other.data).reshape(self.shape))
+                    else:
+                        grad = out.grad @ np.swapaxes(other.data, -1, -2)
+                        self._accumulate(_unbroadcast(grad, self.shape))
+                if other.requires_grad:
+                    if self.data.ndim == 1:
+                        other._accumulate(np.outer(self.data, out.grad).reshape(other.shape))
+                    else:
+                        grad = np.swapaxes(self.data, -1, -2) @ out.grad
+                        other._accumulate(_unbroadcast(grad, other.shape))
+
+            return run
+
+        return Tensor._make(data, (self, other), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        order = axes if axes else tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(order)
+        inverse = np.argsort(order)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad.transpose(inverse))
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad.reshape(original))
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    grad = np.zeros_like(self.data)
+                    np.add.at(grad, index, out.grad)
+                    self._accumulate(grad)
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions symmetrically."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding), (padding, padding)]
+        data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(None) if before == 0 else slice(before, -before)
+            for before, _ in pad_width
+        )
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad[slices])
+
+            return run
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % self.ndim for a in axes)
+                    shape = tuple(
+                        1 if i in axes else s for i, s in enumerate(self.shape)
+                    )
+                    grad = grad.reshape(shape)
+                self._accumulate(np.broadcast_to(grad, self.shape))
+
+            return run
+
+        return Tensor._make(np.asarray(data), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        max_kept = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == max_kept
+        counts = mask.sum(axis=axis, keepdims=True)
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                self._accumulate(mask * grad / counts)
+
+            return run
+
+        return Tensor._make(np.asarray(data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Composite helpers used by losses
+    # ------------------------------------------------------------------
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - self.max(axis=axis, keepdims=True).detach()
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return self.log_softmax(axis=axis).exp()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(out: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * out.grad.ndim
+                    index[axis] = slice(start, end)
+                    tensor._accumulate(out.grad[tuple(index)])
+
+        return run
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new ``axis``."""
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(out: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            for i, tensor in enumerate(tensors):
+                if tensor.requires_grad:
+                    tensor._accumulate(np.take(out.grad, i, axis=axis))
+
+        return run
+
+    return Tensor._make(data, tuple(tensors), backward)

@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG management and numeric helpers."""
+
+from repro.utils.checkpoint import load_model, load_state, save_model, save_state
+from repro.utils.numeric import numerical_gradient
+from repro.utils.rng import SeedSequence, new_rng, spawn_rngs
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "SeedSequence",
+    "numerical_gradient",
+    "save_state",
+    "load_state",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,38 @@
+"""Model/state checkpointing to .npz archives.
+
+The FL simulator exchanges plain ``dict[str, np.ndarray]`` states; these
+helpers persist them (global-model checkpoints, attack reconstructions,
+experiment artifacts) without any pickle security surface.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+def save_state(path: str | Path, state: dict[str, np.ndarray]) -> Path:
+    """Write a state dict to ``path`` (.npz appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+    return path
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    with np.load(Path(path)) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def save_model(path: str | Path, model) -> Path:
+    """Persist a :class:`~repro.nn.Module`'s parameters and buffers."""
+    return save_state(path, model.state_dict())
+
+
+def load_model(path: str | Path, model) -> None:
+    """Restore a module in place from a checkpoint written by save_model."""
+    model.load_state_dict(load_state(path))

@@ -1,0 +1,25 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the repository (dataset synthesis, model init,
+client sampling, attack parameter crafting, DP noise) draws from an explicit
+``numpy.random.Generator``.  ``spawn_rngs`` derives independent child
+generators from a single experiment seed so that adding a consumer never
+perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedSequence = np.random.SeedSequence
+
+
+def new_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a generator from an integer seed (or OS entropy when None)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``."""
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,33 @@
+"""Shared fixtures: small deterministic datasets and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_dataset, synthetic_cifar100, synthetic_imagenet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """16x16, 4 classes, 6/class — fast enough for any unit test."""
+    return make_synthetic_dataset(
+        num_classes=4, samples_per_class=6, image_size=16, seed=77, name="tiny"
+    )
+
+
+@pytest.fixture(scope="session")
+def cifar_like():
+    """Small CIFAR100 stand-in used by attack/defense tests."""
+    return synthetic_cifar100(samples_per_class=2, seed=2002)
+
+
+@pytest.fixture(scope="session")
+def imagenet_like():
+    """Small ImageNet stand-in (reduced to 32px for speed)."""
+    return synthetic_imagenet(samples_per_class=8, image_size=32, seed=1001)

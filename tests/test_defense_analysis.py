@@ -1,0 +1,89 @@
+"""Proposition 1 activation-overlap analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import CAHAttack, ImprintedModel, RTFAttack
+from repro.defense import OasisDefense, activation_overlap_report
+
+
+@pytest.fixture
+def batch(cifar_like, rng):
+    return cifar_like.sample_batch(4, rng)
+
+
+def _crafted_rtf(cifar_like, n=100):
+    model = ImprintedModel(cifar_like.image_shape, n, cifar_like.num_classes,
+                           rng=np.random.default_rng(1))
+    attack = RTFAttack(n)
+    attack.calibrate_from_public_data(cifar_like.images[:100])
+    attack.craft(model)
+    return model
+
+
+def _crafted_cah(cifar_like, n=100):
+    model = ImprintedModel(cifar_like.image_shape, n, cifar_like.num_classes,
+                           rng=np.random.default_rng(1))
+    attack = CAHAttack(n, activation_probability=0.05, seed=2)
+    attack.calibrate_from_public_data(cifar_like.images[:100])
+    attack.craft(model)
+    return model
+
+
+class TestRTFOverlap:
+    def test_major_rotation_fully_protects(self, cifar_like, batch):
+        # MR preserves the RTF measurement exactly, so Proposition 1's
+        # premise holds for every sample: protected_fraction == 1.
+        model = _crafted_rtf(cifar_like)
+        images, labels = batch
+        report = activation_overlap_report(model, OasisDefense("MR"), images, labels)
+        assert report.protected_fraction == 1.0
+        assert report.mean_jaccard == pytest.approx(1.0)
+
+    def test_no_sole_activations_under_mr(self, cifar_like, batch):
+        model = _crafted_rtf(cifar_like)
+        images, labels = batch
+        report = activation_overlap_report(model, OasisDefense("MR"), images, labels)
+        assert report.sole_activations == 0
+
+    def test_flips_also_protect_rtf(self, cifar_like, batch):
+        model = _crafted_rtf(cifar_like)
+        images, labels = batch
+        report = activation_overlap_report(model, OasisDefense("HFlip"), images, labels)
+        assert report.protected_fraction == 1.0
+
+
+class TestCAHOverlap:
+    def test_random_traps_not_fully_protected(self, cifar_like, batch):
+        # Against random trap directions no single transform aligns
+        # activation sets exactly; protection is statistical, not certain.
+        model = _crafted_cah(cifar_like)
+        images, labels = batch
+        report = activation_overlap_report(model, OasisDefense("MR"), images, labels)
+        assert 0.0 <= report.protected_fraction <= 1.0
+        assert report.mean_jaccard <= 1.0
+
+    def test_integration_reduces_sole_activations(self, cifar_like, rng):
+        model = _crafted_cah(cifar_like, n=200)
+        images, labels = cifar_like.sample_batch(8, rng)
+        single = activation_overlap_report(model, OasisDefense("MR"), images, labels)
+        combined = activation_overlap_report(
+            model, OasisDefense("MR+SH"), images, labels
+        )
+        # More companions -> fewer attacked neurons with a sole activator,
+        # normalized by expanded-batch size.
+        single_rate = single.sole_activations / (len(images) * 4)
+        combined_rate = combined.sole_activations / (len(images) * 7)
+        assert combined_rate <= single_rate + 1e-9
+
+
+class TestReportObject:
+    def test_empty_batch(self, cifar_like):
+        model = _crafted_rtf(cifar_like, n=10)
+        images = np.empty((0,) + cifar_like.image_shape)
+        labels = np.empty(0, dtype=np.int64)
+        report = activation_overlap_report(model, OasisDefense("MR"), images, labels)
+        assert report.protected_fraction == 0.0
+        assert report.mean_jaccard == 0.0

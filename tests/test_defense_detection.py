@@ -1,0 +1,90 @@
+"""Client-side detection of imprint-attack signatures in broadcast models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import CAHAttack, ImprintedModel, RTFAttack
+from repro.defense import inspect_state
+from repro.nn import MLP
+
+
+@pytest.fixture
+def clean_state(cifar_like):
+    model = ImprintedModel(cifar_like.image_shape, 100, cifar_like.num_classes,
+                           rng=np.random.default_rng(0))
+    return model.state_dict()
+
+
+def crafted_state(cifar_like, attack_name):
+    model = ImprintedModel(cifar_like.image_shape, 100, cifar_like.num_classes,
+                           rng=np.random.default_rng(0))
+    if attack_name == "rtf":
+        attack = RTFAttack(100)
+    else:
+        attack = CAHAttack(100, seed=1)
+    attack.calibrate_from_public_data(cifar_like.images[:100])
+    attack.craft(model)
+    return model.state_dict()
+
+
+class TestDetection:
+    def test_clean_model_not_flagged(self, clean_state, cifar_like):
+        report = inspect_state(clean_state, probe_inputs=cifar_like.images[:32])
+        assert not report.suspicious
+
+    def test_honest_mlp_not_flagged(self, rng):
+        model = MLP([64, 128, 32, 10], rng=np.random.default_rng(4))
+        report = inspect_state(
+            model.state_dict(), probe_inputs=rng.random((32, 64))
+        )
+        assert not report.suspicious
+
+    def test_rtf_crafted_model_flagged(self, cifar_like):
+        report = inspect_state(crafted_state(cifar_like, "rtf"))
+        assert report.suspicious
+        assert any("RTF" in finding for finding in report.findings)
+
+    def test_cah_crafted_model_flagged(self, cifar_like):
+        # CAH has no structural signature; the client must probe with its
+        # own data to expose the sparse trap-activation profile.
+        report = inspect_state(
+            crafted_state(cifar_like, "cah"),
+            probe_inputs=cifar_like.images[:64],
+        )
+        assert report.suspicious
+        assert any("CAH" in finding for finding in report.findings)
+
+    def test_cah_without_probes_not_detectable(self, cifar_like):
+        report = inspect_state(crafted_state(cifar_like, "cah"))
+        assert not report.suspicious
+
+    def test_few_probes_skips_functional_check(self, cifar_like):
+        report = inspect_state(
+            crafted_state(cifar_like, "cah"), probe_inputs=cifar_like.images[:4]
+        )
+        assert not report.suspicious
+
+    def test_small_layers_ignored(self):
+        # Tiny layers (below min_neurons) are skipped to avoid noise.
+        state = {
+            "fc.weight": np.tile(np.ones(4), (8, 1)),
+            "fc.bias": -np.arange(8.0),
+        }
+        assert not inspect_state(state, min_neurons=16).suspicious
+
+    def test_report_is_truthy_when_suspicious(self, cifar_like):
+        report = inspect_state(crafted_state(cifar_like, "rtf"))
+        assert bool(report)
+
+    def test_conv_weights_ignored(self, rng):
+        state = {
+            "conv.weight": rng.standard_normal((8, 3, 3, 3)),
+            "conv.bias": rng.standard_normal(8),
+        }
+        assert not inspect_state(state).suspicious
+
+    def test_weight_without_bias_ignored(self, rng):
+        state = {"fc.weight": np.tile(np.ones(10), (32, 1))}
+        assert not inspect_state(state).suspicious

@@ -1,0 +1,107 @@
+"""OASIS defense: Eq. 7 batch expansion, labels, companion indexing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import major_rotation, rotate, suite_by_name
+from repro.defense import NoDefense, OasisDefense
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.random((4, 3, 8, 8)), np.array([0, 1, 2, 3])
+
+
+class TestExpansion:
+    def test_size_matches_expansion_factor(self, batch):
+        images, labels = batch
+        defense = OasisDefense("MR")
+        expanded, expanded_labels = defense.expand_batch(images, labels)
+        assert len(expanded) == 4 * defense.expansion_factor()
+        assert len(expanded_labels) == len(expanded)
+
+    def test_expansion_factor(self):
+        assert OasisDefense("MR").expansion_factor() == 4  # orig + 3 rotations
+        assert OasisDefense("HFlip").expansion_factor() == 2
+        assert OasisDefense("MR+SH").expansion_factor() == 7
+
+    def test_originals_first(self, batch):
+        images, labels = batch
+        expanded, expanded_labels = OasisDefense("MR").expand_batch(images, labels)
+        np.testing.assert_array_equal(expanded[:4], images)
+        np.testing.assert_array_equal(expanded_labels[:4], labels)
+
+    def test_transformed_blocks_in_suite_order(self, batch):
+        images, labels = batch
+        expanded, _ = OasisDefense("MR").expand_batch(images, labels)
+        np.testing.assert_array_equal(expanded[4], rotate(images[0], 90))
+        np.testing.assert_array_equal(expanded[8], rotate(images[0], 180))
+        np.testing.assert_array_equal(expanded[12], rotate(images[0], 270))
+
+    def test_labels_copied_to_transforms(self, batch):
+        # Eq. 7: "the data points in X'_t are given the same label as x_t".
+        images, labels = batch
+        defense = OasisDefense("MR+SH")
+        _, expanded_labels = defense.expand_batch(images, labels)
+        for t in range(4):
+            for companion in defense.companions_of(t, 4):
+                assert expanded_labels[companion] == labels[t]
+
+    def test_companions_of_indexing(self, batch):
+        images, labels = batch
+        defense = OasisDefense("MR")
+        expanded, _ = defense.expand_batch(images, labels)
+        for t in range(4):
+            for k, companion in enumerate(defense.companions_of(t, 4)):
+                transform = defense.suite.transforms[k]
+                np.testing.assert_array_equal(expanded[companion], transform(images[t]))
+
+    def test_exclude_original_ablation(self, batch):
+        images, labels = batch
+        defense = OasisDefense("MR", include_original=False)
+        expanded, _ = defense.expand_batch(images, labels)
+        assert len(expanded) == 12
+        np.testing.assert_array_equal(expanded[0], rotate(images[0], 90))
+        assert defense.expansion_factor() == 3
+
+    def test_accepts_suite_object(self, batch):
+        images, labels = batch
+        defense = OasisDefense(major_rotation())
+        expanded, _ = defense.expand_batch(images, labels)
+        assert len(expanded) == 16
+
+    def test_name_matches_suite(self):
+        assert OasisDefense("MR+SH").name == "MR+SH"
+        assert OasisDefense(suite_by_name("SH")).name == "SH"
+
+    def test_process_batch_hook(self, batch, rng):
+        images, labels = batch
+        defense = OasisDefense("VFlip")
+        out_images, out_labels = defense.process_batch(images, labels, rng)
+        assert len(out_images) == 8
+
+    def test_gradient_hook_is_identity(self, batch, rng):
+        defense = OasisDefense("MR")
+        grads = {"w": np.ones(3)}
+        assert defense.process_gradients(grads, rng) is grads
+
+    def test_dtype_preserved(self, rng):
+        images = rng.random((2, 3, 8, 8)).astype(np.float32)
+        defense = OasisDefense("MR")
+        expanded, _ = defense.expand_batch(images, np.array([0, 1]))
+        assert expanded.dtype == np.float32
+
+    def test_repr(self):
+        assert "MR" in repr(OasisDefense("MR"))
+
+
+class TestNoDefense:
+    def test_identity(self, batch, rng):
+        images, labels = batch
+        defense = NoDefense()
+        out_images, out_labels = defense.process_batch(images, labels, rng)
+        np.testing.assert_array_equal(out_images, images)
+        np.testing.assert_array_equal(out_labels, labels)
+        assert defense.name == "WO"

@@ -1,0 +1,129 @@
+"""Tabular OASIS (the paper's future-work extension) end to end.
+
+The attack principle is data-type agnostic (paper Sec. VI), so an RTF-style
+imprint over feature rows must be defeated by measurement-preserving
+tabular companions exactly as image OASIS defeats it over pixels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import ImprintedModel, RTFAttack
+from repro.defense import (
+    GroupPermutation,
+    MeanPreservingJitter,
+    TabularOasisDefense,
+)
+from repro.fl import compute_batch_gradients
+from repro.metrics import per_image_best_psnr
+from repro.nn import CrossEntropyLoss
+
+NUM_FEATURES = 64
+
+
+@pytest.fixture
+def table(rng):
+    """A tabular dataset: 4-class rows in [0, 1]^64."""
+    centers = rng.random((4, NUM_FEATURES))
+    rows, labels = [], []
+    for label in range(4):
+        for _ in range(10):
+            rows.append(np.clip(centers[label] + rng.normal(0, 0.1, NUM_FEATURES), 0, 1))
+            labels.append(label)
+    return np.stack(rows), np.array(labels)
+
+
+class TestTransforms:
+    def test_group_permutation_preserves_multiset(self, rng):
+        transform = GroupPermutation([list(range(8))])
+        row = rng.random(8)
+        out = transform(row, rng)
+        np.testing.assert_allclose(np.sort(out), np.sort(row))
+        assert not np.allclose(out, row)
+
+    def test_group_permutation_untouched_outside_groups(self, rng):
+        transform = GroupPermutation([[0, 1, 2]])
+        row = rng.random(6)
+        out = transform(row, rng)
+        np.testing.assert_array_equal(out[3:], row[3:])
+
+    def test_group_needs_two_members(self):
+        with pytest.raises(ValueError):
+            GroupPermutation([[0]])
+
+    def test_jitter_preserves_mean_exactly(self, rng):
+        transform = MeanPreservingJitter(0.2)
+        row = rng.random(32)
+        out = transform(row, rng)
+        assert out.mean() == pytest.approx(row.mean(), abs=1e-12)
+        assert not np.allclose(out, row)
+
+    def test_jitter_validates_scale(self):
+        with pytest.raises(ValueError):
+            MeanPreservingJitter(0.0)
+
+
+class TestExpansion:
+    def test_default_expansion_factor(self):
+        defense = TabularOasisDefense(NUM_FEATURES)
+        assert defense.expansion_factor() == 4
+
+    def test_expansion_shape_and_labels(self, table):
+        rows, labels = table
+        defense = TabularOasisDefense(NUM_FEATURES, seed=1)
+        expanded, expanded_labels = defense.expand_batch(rows[:4], labels[:4])
+        assert expanded.shape == (16, NUM_FEATURES)
+        np.testing.assert_array_equal(expanded_labels[4:8], labels[:4])
+
+    def test_rejects_image_shaped_input(self, rng):
+        defense = TabularOasisDefense(NUM_FEATURES)
+        with pytest.raises(ValueError):
+            defense.expand_batch(rng.random((2, 3, 4, 4)), np.array([0, 1]))
+
+    def test_companions_preserve_measurement(self, table):
+        # The RTF measurement (row mean) is preserved by every companion.
+        rows, labels = table
+        defense = TabularOasisDefense(NUM_FEATURES, seed=1)
+        expanded, _ = defense.expand_batch(rows[:4], labels[:4])
+        for t in range(4):
+            for k in range(1, defense.expansion_factor()):
+                companion = expanded[4 * k + t]
+                assert companion.mean() == pytest.approx(rows[t].mean(), abs=1e-12)
+
+
+class TestAgainstRTF:
+    def _attack_setup(self, table):
+        rows, labels = table
+        # Treat rows as (1, 8, 8) "images" so the imprint machinery applies.
+        shape = (1, 8, 8)
+        model = ImprintedModel(shape, 120, 4, rng=np.random.default_rng(3))
+        attack = RTFAttack(120)
+        attack.calibrate_from_public_data(rows.reshape(-1, *shape))
+        attack.craft(model)
+        return model, attack, shape
+
+    def test_undefended_rows_leak(self, table, rng):
+        rows, labels = table
+        model, attack, shape = self._attack_setup(table)
+        batch = rows[:4].reshape(-1, *shape)
+        grads, _ = compute_batch_gradients(
+            model, CrossEntropyLoss(), batch, labels[:4]
+        )
+        result = attack.reconstruct(grads)
+        assert np.all(per_image_best_psnr(batch, result.images) > 100.0)
+
+    def test_tabular_oasis_blocks_reconstruction(self, table, rng):
+        rows, labels = table
+        model, attack, shape = self._attack_setup(table)
+        defense = TabularOasisDefense(NUM_FEATURES, seed=5)
+        expanded, expanded_labels = defense.expand_batch(rows[:4], labels[:4])
+        grads, _ = compute_batch_gradients(
+            model, CrossEntropyLoss(),
+            expanded.reshape(-1, *shape), expanded_labels,
+        )
+        result = attack.reconstruct(grads)
+        batch = rows[:4].reshape(-1, *shape)
+        scores = per_image_best_psnr(batch, result.images)
+        assert np.all(scores < 60.0), "a tabular row leaked through the defense"

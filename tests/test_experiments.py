@@ -1,0 +1,212 @@
+"""Experiment harnesses: runners, sweeps, lineups, Table I, Fig 14, visuals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defense import DPGradientDefense, OasisDefense
+from repro.experiments import (
+    PaperComparison,
+    comparison_table,
+    format_table,
+    monotone_in_batch_size,
+    reconstruction_gallery,
+    render_ascii_image,
+    render_pairs,
+    run_ats_comparison,
+    run_attack_trial,
+    run_defense_lineup,
+    run_linear_lineup,
+    run_linear_trial,
+    run_sweep,
+    run_table1,
+    side_by_side,
+    table1_report,
+    train_with_defense,
+)
+from repro.nn import MLP
+
+
+class TestRunner:
+    def test_rtf_trial_undefended_is_perfect(self, cifar_like):
+        result = run_attack_trial(cifar_like, "rtf", 4, 100, seed=3)
+        assert result.average_psnr > 120.0
+        assert result.attack == "rtf"
+        assert result.defense == "WO"
+
+    def test_rtf_trial_defended_is_low(self, cifar_like):
+        result = run_attack_trial(
+            cifar_like, "rtf", 4, 100, defense=OasisDefense("MR"), seed=3
+        )
+        assert result.average_psnr < 40.0
+
+    def test_cah_trial_runs(self, cifar_like):
+        result = run_attack_trial(cifar_like, "cah", 8, 100, seed=3)
+        assert result.num_reconstructions > 0
+
+    def test_unknown_attack_rejected(self, cifar_like):
+        with pytest.raises(ValueError):
+            run_attack_trial(cifar_like, "dlg", 4, 100)
+
+    def test_linear_trial(self, cifar_like):
+        result = run_linear_trial(cifar_like, 8, seed=3)
+        assert result.attack == "linear"
+        assert result.num_reconstructions == 8
+
+    def test_dp_defense_reduces_rtf(self, cifar_like):
+        clean = run_attack_trial(cifar_like, "rtf", 4, 100, seed=3)
+        noisy = run_attack_trial(
+            cifar_like, "rtf", 4, 100,
+            defense=DPGradientDefense(clip_norm=1.0, noise_multiplier=0.5), seed=3,
+        )
+        assert noisy.average_psnr < clean.average_psnr
+
+    def test_trials_reproducible(self, cifar_like):
+        a = run_attack_trial(cifar_like, "rtf", 4, 100, seed=5)
+        b = run_attack_trial(cifar_like, "rtf", 4, 100, seed=5)
+        assert a.psnrs == b.psnrs
+
+
+class TestSweep:
+    def test_grid_shape_and_trend(self, cifar_like):
+        result = run_sweep(
+            cifar_like, "rtf",
+            batch_sizes=(4, 16, 64),
+            neuron_counts=(50, 150),
+            num_trials=1,
+        )
+        assert result.grid.shape == (2, 3)
+        assert monotone_in_batch_size(result) >= 0.5
+
+    def test_optima_selected_per_batch(self, cifar_like):
+        result = run_sweep(
+            cifar_like, "rtf",
+            batch_sizes=(4, 16),
+            neuron_counts=(50, 150),
+            num_trials=1,
+        )
+        assert set(result.optima) == {4, 16}
+        for n, value in result.optima.values():
+            assert n in (50, 150)
+            assert value > 0.0
+
+    def test_oversized_batch_is_nan(self, cifar_like):
+        result = run_sweep(
+            cifar_like, "rtf",
+            batch_sizes=(4, 100_000),
+            neuron_counts=(50,),
+            num_trials=1,
+        )
+        assert np.isnan(result.grid[0, 1])
+
+    def test_table_renders(self, cifar_like):
+        result = run_sweep(
+            cifar_like, "rtf", batch_sizes=(4,), neuron_counts=(50,), num_trials=1
+        )
+        table = result.to_table()
+        assert "50" in table
+
+
+class TestLineups:
+    def test_fig5_style_lineup(self, cifar_like):
+        result = run_defense_lineup(
+            cifar_like, "rtf", 4, 100, ("WO", "MR"), num_trials=1
+        )
+        averages = result.averages()
+        assert averages["WO"] > averages["MR"] + 80.0
+        assert "WO" in result.to_table()
+
+    def test_fig13_lineup(self, cifar_like):
+        result = run_linear_lineup(cifar_like, 4, ("WO", "MR"), num_trials=1)
+        averages = result.averages()
+        assert averages["WO"] > averages["MR"]
+
+
+class TestTable1:
+    def _factory(self, dataset):
+        return lambda: MLP([dataset.flat_dim, 32, dataset.num_classes],
+                           rng=np.random.default_rng(1))
+
+    def test_training_improves_over_chance(self, tiny_dataset):
+        outcome = train_with_defense(
+            tiny_dataset, tiny_dataset, self._factory(tiny_dataset),
+            epochs=15, batch_size=8,
+        )
+        assert outcome.test_accuracy > 1.5 / tiny_dataset.num_classes
+
+    def test_oasis_arm_trains_comparably(self, tiny_dataset):
+        base = train_with_defense(
+            tiny_dataset, tiny_dataset, self._factory(tiny_dataset),
+            epochs=15, batch_size=8,
+        )
+        oasis = train_with_defense(
+            tiny_dataset, tiny_dataset, self._factory(tiny_dataset),
+            defense=OasisDefense("HFlip"), epochs=15, batch_size=8,
+        )
+        assert oasis.test_accuracy > base.test_accuracy - 0.35
+
+    def test_run_table1_and_report(self, tiny_dataset):
+        outcomes = run_table1(
+            tiny_dataset, tiny_dataset, self._factory(tiny_dataset),
+            lineup=("HFlip", "WO"), epochs=5, batch_size=8,
+        )
+        report = table1_report(outcomes)
+        assert "WO" in report and "HFlip" in report
+
+
+class TestATSComparison:
+    def test_transform_replace_fails_oasis_succeeds(self, cifar_like):
+        result = run_ats_comparison(cifar_like, batch_size=4, num_neurons=100)
+        # Fig. 14's claim: ATS reconstructions reveal the (transformed)
+        # training inputs at perfect-reconstruction quality...
+        assert result.ats_vs_training_inputs > 100.0
+        # ...while OASIS reconstructions match nothing.
+        assert result.oasis_vs_originals < 40.0
+        assert result.oasis_vs_training_inputs < 60.0
+
+
+class TestVisual:
+    def test_gallery_without_defense(self, cifar_like):
+        gallery = reconstruction_gallery(cifar_like, "rtf", None, 4, 100, max_pairs=2)
+        assert len(gallery.originals) == 2
+        assert all(p > 100.0 for p in gallery.psnrs)
+
+    def test_gallery_with_defense(self, cifar_like):
+        gallery = reconstruction_gallery(cifar_like, "rtf", "MR", 4, 100, max_pairs=2)
+        assert all(p < 60.0 for p in gallery.psnrs)
+
+    def test_render_pairs(self, cifar_like):
+        gallery = reconstruction_gallery(cifar_like, "rtf", "MR", 4, 100, max_pairs=1)
+        art = render_pairs(gallery, width=16, max_pairs=1)
+        assert "PSNR" in art
+        assert "|" in art
+
+    def test_gallery_save(self, cifar_like, tmp_path):
+        gallery = reconstruction_gallery(cifar_like, "rtf", "MR", 4, 100, max_pairs=1)
+        gallery.save(tmp_path)
+        saved = list(tmp_path.glob("*.npy"))
+        assert len(saved) == 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in table
+
+    def test_comparison_table(self):
+        rows = [PaperComparison("fig5", "MR psnr", "15-20", 16.5, True)]
+        table = comparison_table(rows)
+        assert "fig5" in table and "yes" in table
+
+    def test_render_ascii_image_dimensions(self, rng):
+        art = render_ascii_image(rng.random((3, 16, 16)), width=20)
+        lines = art.splitlines()
+        assert all(len(line) == 20 for line in lines)
+
+    def test_side_by_side(self):
+        joined = side_by_side("ab\ncd", "xy\nzw")
+        assert "ab" in joined.splitlines()[0]
+        assert "xy" in joined.splitlines()[0]

@@ -1,0 +1,89 @@
+"""Gradient computation and FedAvg aggregation (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl import average_gradients, compute_batch_gradients, per_sample_gradients
+from repro.nn import CrossEntropyLoss, MLP
+
+
+@pytest.fixture
+def model():
+    return MLP([8, 6, 3], rng=np.random.default_rng(0))
+
+
+class TestComputeBatchGradients:
+    def test_returns_all_parameters(self, model, rng):
+        grads, loss = compute_batch_gradients(
+            model, CrossEntropyLoss(), rng.random((4, 8)), rng.integers(0, 3, 4)
+        )
+        assert set(grads) == {name for name, _ in model.named_parameters()}
+        assert np.isfinite(loss)
+
+    def test_zeroes_stale_gradients_first(self, model, rng):
+        x, y = rng.random((4, 8)), rng.integers(0, 3, 4)
+        first, _ = compute_batch_gradients(model, CrossEntropyLoss(), x, y)
+        second, _ = compute_batch_gradients(model, CrossEntropyLoss(), x, y)
+        for name in first:
+            np.testing.assert_allclose(first[name], second[name])
+
+    def test_mean_reduction_scales_with_batch(self, model, rng):
+        x, y = rng.random((4, 8)), rng.integers(0, 3, 4)
+        sum_grads, _ = compute_batch_gradients(model, CrossEntropyLoss("sum"), x, y)
+        mean_grads, _ = compute_batch_gradients(model, CrossEntropyLoss("mean"), x, y)
+        for name in sum_grads:
+            np.testing.assert_allclose(sum_grads[name], 4.0 * mean_grads[name],
+                                       atol=1e-10)
+
+
+class TestPerSampleGradients:
+    def test_per_sample_sums_to_batch(self, model, rng):
+        x, y = rng.random((3, 8)), rng.integers(0, 3, 3)
+        batch_grads, _ = compute_batch_gradients(model, CrossEntropyLoss("sum"), x, y)
+        per_sample = per_sample_gradients(model, CrossEntropyLoss("sum"), x, y)
+        for name in batch_grads:
+            total = sum(g[name] for g in per_sample)
+            np.testing.assert_allclose(batch_grads[name], total, atol=1e-10)
+
+    def test_count(self, model, rng):
+        per_sample = per_sample_gradients(
+            model, CrossEntropyLoss(), rng.random((5, 8)), rng.integers(0, 3, 5)
+        )
+        assert len(per_sample) == 5
+
+
+class TestAverageGradients:
+    def test_uniform_average(self):
+        updates = [{"w": np.array([1.0])}, {"w": np.array([3.0])}]
+        out = average_gradients(updates)
+        np.testing.assert_allclose(out["w"], [2.0])
+
+    def test_weighted_average(self):
+        updates = [{"w": np.array([0.0])}, {"w": np.array([4.0])}]
+        out = average_gradients(updates, weights=[3.0, 1.0])
+        np.testing.assert_allclose(out["w"], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_gradients([])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            average_gradients([{"w": np.zeros(1)}], weights=[1.0, 2.0])
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(KeyError):
+            average_gradients([{"w": np.zeros(1)}, {"v": np.zeros(1)}])
+
+    def test_aggregation_is_linear(self, rng):
+        # FedAvg of K identical updates equals the update (Eq. 1 sanity).
+        update = {"w": rng.standard_normal(5)}
+        out = average_gradients([update] * 7)
+        np.testing.assert_allclose(out["w"], update["w"])
+
+    def test_does_not_mutate_inputs(self):
+        updates = [{"w": np.array([1.0])}, {"w": np.array([3.0])}]
+        average_gradients(updates)
+        np.testing.assert_array_equal(updates[0]["w"], [1.0])

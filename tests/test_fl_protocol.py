@@ -1,0 +1,226 @@
+"""FL protocol: clients, honest server, dishonest server, simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import ImprintedModel, RTFAttack
+from repro.data import make_synthetic_dataset
+from repro.defense import OasisDefense
+from repro.fl import (
+    Client,
+    DishonestServer,
+    FederatedSimulation,
+    FederationConfig,
+    ModelBroadcast,
+    Server,
+    partition_dataset,
+)
+from repro.metrics import per_image_best_psnr
+from repro.nn import CrossEntropyLoss, MLP
+
+
+@pytest.fixture(scope="module")
+def fl_dataset():
+    return make_synthetic_dataset(4, 12, image_size=8, seed=3, name="fl")
+
+
+def make_mlp(fl_dataset):
+    return MLP([fl_dataset.flat_dim, 16, fl_dataset.num_classes],
+               rng=np.random.default_rng(0))
+
+
+class TestPartition:
+    def test_shards_cover_dataset(self, fl_dataset):
+        shards = partition_dataset(fl_dataset, 4, seed=0)
+        assert sum(len(s) for s in shards) == len(fl_dataset)
+
+    def test_shards_disjoint(self, fl_dataset):
+        shards = partition_dataset(fl_dataset, 4, seed=0)
+        seen = []
+        for shard in shards:
+            seen.extend(shard.images.reshape(len(shard), -1).sum(axis=1).tolist())
+        assert len(seen) == len(set(np.round(seen, 12)))
+
+    def test_validates_inputs(self, fl_dataset):
+        with pytest.raises(ValueError):
+            partition_dataset(fl_dataset, 0)
+        with pytest.raises(ValueError):
+            partition_dataset(fl_dataset, len(fl_dataset) + 1)
+
+
+class TestClient:
+    def test_local_update_contents(self, fl_dataset):
+        model = make_mlp(fl_dataset)
+        client = Client(0, fl_dataset, model, CrossEntropyLoss(), batch_size=4, seed=1)
+        broadcast = ModelBroadcast(round_index=0, state=model.state_dict())
+        update = client.local_update(broadcast)
+        assert update.client_id == 0
+        assert update.num_examples == 4
+        assert np.isfinite(update.loss)
+        assert set(update.gradients) == {n for n, _ in model.named_parameters()}
+
+    def test_defense_expands_examples(self, fl_dataset):
+        model = make_mlp(fl_dataset)
+        client = Client(
+            0, fl_dataset, model, CrossEntropyLoss(), batch_size=4,
+            defense=OasisDefense("MR"), seed=1,
+        )
+        update = client.local_update(ModelBroadcast(0, model.state_dict()))
+        assert update.num_examples == 16
+
+    def test_client_loads_broadcast_state(self, fl_dataset):
+        model = make_mlp(fl_dataset)
+        client = Client(0, fl_dataset, model, CrossEntropyLoss(), batch_size=4)
+        reference = make_mlp(fl_dataset)
+        for p in reference.parameters():
+            p.data[:] = 0.123
+        client.local_update(ModelBroadcast(0, reference.state_dict()))
+        np.testing.assert_allclose(
+            next(iter(client.model.parameters())).data, 0.123
+        )
+
+    def test_last_batch_recorded(self, fl_dataset):
+        model = make_mlp(fl_dataset)
+        client = Client(0, fl_dataset, model, CrossEntropyLoss(), batch_size=4)
+        client.local_update(ModelBroadcast(0, model.state_dict()))
+        assert client.last_batch is not None
+        assert len(client.last_batch[0]) == 4
+
+
+class TestHonestServer:
+    def _make_federation(self, fl_dataset, num_clients=3):
+        clients = [
+            Client(i, shard, make_mlp(fl_dataset), CrossEntropyLoss(), batch_size=4,
+                   seed=7)
+            for i, shard in enumerate(partition_dataset(fl_dataset, num_clients))
+        ]
+        return Server(make_mlp(fl_dataset), clients, learning_rate=0.5, seed=0)
+
+    def test_round_applies_eq1(self, fl_dataset):
+        server = self._make_federation(fl_dataset)
+        before = {n: p.data.copy() for n, p in server.model.named_parameters()}
+        server.run_round()
+        after = dict(server.model.named_parameters())
+        changed = any(
+            not np.allclose(before[n], after[n].data) for n in before
+        )
+        assert changed
+
+    def test_history_grows(self, fl_dataset):
+        server = self._make_federation(fl_dataset)
+        server.run(3)
+        assert [r.round_index for r in server.history] == [0, 1, 2]
+
+    def test_client_subset_selection(self, fl_dataset):
+        clients = [
+            Client(i, shard, make_mlp(fl_dataset), CrossEntropyLoss(), batch_size=4)
+            for i, shard in enumerate(partition_dataset(fl_dataset, 4))
+        ]
+        server = Server(make_mlp(fl_dataset), clients, clients_per_round=2, seed=0)
+        record = server.run_round()
+        assert len(record.participant_ids) == 2
+
+    def test_requires_clients(self, fl_dataset):
+        with pytest.raises(ValueError):
+            Server(make_mlp(fl_dataset), [])
+
+    def test_loss_decreases_over_rounds(self, fl_dataset):
+        server = self._make_federation(fl_dataset)
+        records = server.run(25)
+        first = np.mean([r.mean_loss for r in records[:5]])
+        last = np.mean([r.mean_loss for r in records[-5:]])
+        assert last < first
+
+
+class TestDishonestServer:
+    def test_attack_round_reconstructs_target_batch(self, fl_dataset):
+        num_neurons = 64
+        def factory():
+            return ImprintedModel(fl_dataset.image_shape, num_neurons,
+                                  fl_dataset.num_classes,
+                                  rng=np.random.default_rng(5))
+        clients = [
+            Client(i, shard, factory(), CrossEntropyLoss(), batch_size=3, seed=11)
+            for i, shard in enumerate(partition_dataset(fl_dataset, 2))
+        ]
+        attack = RTFAttack(num_neurons)
+        attack.calibrate_from_public_data(fl_dataset.images)
+        server = DishonestServer(
+            factory(), clients, attack=attack, target_client_id=0, seed=0
+        )
+        server.run_round()
+        assert 0 in server.reconstructions
+        target = clients[0].last_batch[0]
+        per_image = per_image_best_psnr(target, server.reconstructions[0].images)
+        assert np.all(per_image > 100.0), "dishonest server failed to reconstruct"
+
+    def test_attack_events_recorded(self, fl_dataset):
+        num_neurons = 32
+        def factory():
+            return ImprintedModel(fl_dataset.image_shape, num_neurons,
+                                  fl_dataset.num_classes,
+                                  rng=np.random.default_rng(5))
+        clients = [
+            Client(0, fl_dataset, factory(), CrossEntropyLoss(), batch_size=3)
+        ]
+        attack = RTFAttack(num_neurons)
+        attack.calibrate_from_public_data(fl_dataset.images)
+        server = DishonestServer(factory(), clients, attack=attack)
+        record = server.run_round()
+        assert record.attack_events
+        assert record.attack_events[0]["attack"] == "rtf"
+
+    def test_untargeted_clients_ignored(self, fl_dataset):
+        num_neurons = 32
+        def factory():
+            return ImprintedModel(fl_dataset.image_shape, num_neurons,
+                                  fl_dataset.num_classes,
+                                  rng=np.random.default_rng(5))
+        clients = [
+            Client(i, fl_dataset, factory(), CrossEntropyLoss(), batch_size=3)
+            for i in range(2)
+        ]
+        attack = RTFAttack(num_neurons)
+        attack.calibrate_from_public_data(fl_dataset.images)
+        server = DishonestServer(
+            factory(), clients, attack=attack, target_client_id=1
+        )
+        record = server.run_round()
+        assert all(e["client_id"] == 1 for e in record.attack_events)
+
+
+class TestFederatedSimulation:
+    def test_runs_and_evaluates(self, fl_dataset):
+        sim = FederatedSimulation(
+            fl_dataset,
+            lambda: make_mlp(fl_dataset),
+            FederationConfig(num_clients=3, batch_size=4, learning_rate=0.5, seed=2),
+        )
+        sim.run(5)
+        acc = sim.evaluate(fl_dataset)
+        assert 0.0 <= acc <= 1.0
+
+    def test_oasis_protected_simulation_with_attack(self, fl_dataset):
+        num_neurons = 64
+        def factory():
+            return ImprintedModel(fl_dataset.image_shape, num_neurons,
+                                  fl_dataset.num_classes,
+                                  rng=np.random.default_rng(5))
+        attack = RTFAttack(num_neurons)
+        attack.calibrate_from_public_data(fl_dataset.images)
+        sim = FederatedSimulation(
+            fl_dataset,
+            factory,
+            FederationConfig(num_clients=2, batch_size=3, seed=2),
+            defense=OasisDefense("MR"),
+            attack=attack,
+            target_client_id=0,
+        )
+        sim.run(1)
+        server = sim.server
+        target = server.clients[0].last_batch[0]
+        recon = server.reconstructions[0].images
+        per_image = per_image_best_psnr(target, recon)
+        assert np.all(per_image < 60.0), "OASIS failed inside the full protocol"

@@ -1,0 +1,159 @@
+"""PSNR / SSIM / accuracy metric correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    MSE_FLOOR,
+    PSNR_CEILING,
+    accuracy,
+    average_attack_psnr,
+    best_match_psnr,
+    image_entropy,
+    match_reconstructions,
+    mse,
+    per_image_best_psnr,
+    psnr,
+    ssim,
+    top_k_accuracy,
+)
+
+
+class TestMSE:
+    def test_zero_for_identical(self, rng):
+        x = rng.random((3, 4, 4))
+        assert mse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.zeros(4), np.full(4, 2.0)) == 4.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+
+class TestPSNR:
+    def test_perfect_reconstruction_hits_ceiling(self, rng):
+        x = rng.random((3, 8, 8))
+        assert psnr(x, x) == pytest.approx(PSNR_CEILING)
+
+    def test_ceiling_is_140db(self):
+        assert PSNR_CEILING == pytest.approx(140.0)
+
+    def test_known_value(self):
+        # MSE = 0.01 with range 1 => 20 dB.
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_monotone_in_error(self, rng):
+        x = rng.random((3, 8, 8))
+        small = x + 0.01
+        large = x + 0.1
+        assert psnr(x, small) > psnr(x, large)
+
+    def test_data_range_scaling(self, rng):
+        x = rng.random((4, 4))
+        y = x + 0.05
+        assert psnr(x, y, data_range=2.0) == pytest.approx(psnr(x, y) + 10 * np.log10(4))
+
+    def test_float32_scale_floor(self):
+        # Errors below float32 precision are reported at the ceiling, like
+        # the paper's instrumentation would.
+        x = np.zeros((4, 4))
+        assert psnr(x, x + 1e-9) == pytest.approx(PSNR_CEILING)
+        assert MSE_FLOOR == 1e-14
+
+
+class TestMatching:
+    def test_best_match_finds_correct_original(self, rng):
+        originals = rng.random((5, 3, 4, 4))
+        recon = originals[3] + 0.001
+        score, index = best_match_psnr(originals, recon)
+        assert index == 3
+        assert score > 50.0
+
+    def test_match_reconstructions(self, rng):
+        originals = rng.random((3, 1, 4, 4))
+        recons = originals[[2, 0]]
+        matches = match_reconstructions(originals, recons)
+        assert [m[0] for m in matches] == [2, 0]
+
+    def test_average_attack_psnr_empty(self, rng):
+        originals = rng.random((3, 1, 4, 4))
+        assert average_attack_psnr(originals, np.empty((0, 1, 4, 4))) == 0.0
+
+    def test_average_attack_psnr_perfect(self, rng):
+        originals = rng.random((3, 1, 4, 4))
+        assert average_attack_psnr(originals, originals) == pytest.approx(PSNR_CEILING)
+
+    def test_per_image_best_psnr(self, rng):
+        originals = rng.random((4, 1, 4, 4))
+        recons = originals[[1]]
+        scores = per_image_best_psnr(originals, recons)
+        assert scores[1] == pytest.approx(PSNR_CEILING)
+        assert all(scores[i] < PSNR_CEILING for i in (0, 2, 3))
+
+    def test_per_image_best_empty(self, rng):
+        originals = rng.random((2, 1, 4, 4))
+        np.testing.assert_array_equal(
+            per_image_best_psnr(originals, np.empty((0, 1, 4, 4))), np.zeros(2)
+        )
+
+
+class TestSSIM:
+    def test_identical_is_one(self, rng):
+        x = rng.random((3, 16, 16))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_noise_lowers_ssim(self, rng):
+        x = rng.random((3, 16, 16))
+        noisy = np.clip(x + rng.normal(0, 0.3, x.shape), 0, 1)
+        assert ssim(x, noisy) < 0.9
+
+    def test_2d_input(self, rng):
+        x = rng.random((16, 16))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((3, 4, 4)), np.zeros((3, 5, 5)))
+
+    def test_ordering_matches_distortion(self, rng):
+        x = rng.random((3, 16, 16))
+        mild = np.clip(x + rng.normal(0, 0.05, x.shape), 0, 1)
+        harsh = np.clip(x + rng.normal(0, 0.5, x.shape), 0, 1)
+        assert ssim(x, mild) > ssim(x, harsh)
+
+
+class TestEntropy:
+    def test_constant_image_zero_entropy(self):
+        assert image_entropy(np.full((3, 8, 8), 0.5)) == 0.0
+
+    def test_uniform_noise_high_entropy(self, rng):
+        assert image_entropy(rng.random((3, 32, 32))) > 4.0
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(4)
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(3))
+
+    def test_top_k(self):
+        logits = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        assert top_k_accuracy(logits, np.array([1, 0]), k=2) == 0.5
+        assert top_k_accuracy(logits, np.array([0, 2]), k=1) == 1.0
+
+    def test_top_k_caps_at_num_classes(self):
+        logits = np.array([[0.5, 0.5]])
+        assert top_k_accuracy(logits, np.array([0]), k=10) == 1.0

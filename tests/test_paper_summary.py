@@ -1,0 +1,36 @@
+"""The one-call reproduction scorecard: every headline shape must hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import build_paper_summary, comparison_table, summary_holds
+
+
+@pytest.fixture(scope="module")
+def summary(cifar_like):
+    return build_paper_summary(cifar_like, batch_size=4, num_neurons=150, seed=3)
+
+
+class TestPaperSummary:
+    def test_every_headline_shape_holds(self, summary):
+        assert summary_holds(summary), comparison_table(summary)
+
+    def test_covers_headline_experiments(self, summary):
+        experiments = {row.experiment for row in summary}
+        assert {"Fig 5", "Fig 6", "Fig 13", "Fig 14"} <= experiments
+
+    def test_rows_have_measurements(self, summary):
+        assert all(isinstance(row.measured, float) for row in summary)
+
+    def test_table_renders_all_rows(self, summary):
+        table = comparison_table(summary)
+        assert table.count("\n") >= len(summary) + 1
+
+    def test_summary_holds_detects_failure(self, summary):
+        broken = list(summary)
+        broken[0] = type(broken[0])(
+            experiment="x", quantity="y", paper_value="z",
+            measured=0.0, agrees=False,
+        )
+        assert not summary_holds(broken)

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Four invariant families, each load-bearing for the reproduction:
+
+1. Autograd: gradients match finite differences on random inputs/shapes.
+2. Augmentation: the geometric identities the defense analysis relies on
+   (mean preservation, involutions, rotation group structure).
+3. PSNR: metric axioms (symmetry in error magnitude, monotonicity, range).
+4. Aggregation: FedAvg linearity/convexity (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.augment import horizontal_flip, rotate, shear, vertical_flip
+from repro.fl import average_gradients
+from repro.metrics import PSNR_CEILING, psnr
+from repro.tensor import Tensor
+from repro.utils import numerical_gradient
+
+finite_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(min_dims=1, max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=min_dims, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+def images(side=8):
+    return arrays(
+        dtype=np.float64,
+        shape=(3, side, side),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+
+
+class TestAutogradProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays())
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_arrays())
+    def test_square_gradient(self, x):
+        t = Tensor(x, requires_grad=True)
+        (t * t).sum().backward()
+        np.testing.assert_allclose(t.grad, 2.0 * x, atol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_arrays(max_dims=1, max_side=6))
+    def test_elementwise_chain_matches_numeric(self, x):
+        x = x + 0.1 * np.sign(x) + 0.05  # avoid the ReLU kink
+
+        def loss(t):
+            return ((t.relu() + 1.0) * t).sum()
+
+        t = Tensor(x.copy(), requires_grad=True)
+        loss(t).backward()
+        numeric = numerical_gradient(lambda p: loss(Tensor(p)).item(), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        arrays(np.float64, (3, 4), elements=finite_floats),
+        arrays(np.float64, (4, 2), elements=finite_floats),
+    )
+    def test_matmul_grad_shapes(self, a, b):
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        assert ta.grad.shape == a.shape
+        assert tb.grad.shape == b.shape
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_arrays())
+    def test_linearity_of_backward(self, x):
+        # d(3L)/dx == 3 dL/dx
+        t1 = Tensor(x.copy(), requires_grad=True)
+        (t1 * t1).sum().backward()
+        t3 = Tensor(x.copy(), requires_grad=True)
+        ((t3 * t3).sum() * 3.0).backward()
+        np.testing.assert_allclose(t3.grad, 3.0 * t1.grad, atol=1e-10)
+
+
+class TestAugmentationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(images())
+    def test_rot90_four_times_identity(self, image):
+        out = image
+        for _ in range(4):
+            out = rotate(out, 90)
+        np.testing.assert_array_equal(out, image)
+
+    @settings(max_examples=20, deadline=None)
+    @given(images())
+    def test_rot90_composition(self, image):
+        np.testing.assert_array_equal(
+            rotate(rotate(image, 90), 90), rotate(image, 180)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(images())
+    def test_flip_involutions(self, image):
+        np.testing.assert_array_equal(horizontal_flip(horizontal_flip(image)), image)
+        np.testing.assert_array_equal(vertical_flip(vertical_flip(image)), image)
+
+    @settings(max_examples=20, deadline=None)
+    @given(images(), st.sampled_from([30.0, 45.0, 60.0, 15.0, 75.0]))
+    def test_minor_rotation_preserves_mean(self, image, angle):
+        assert np.isclose(rotate(image, angle).mean(), image.mean(), atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(images(), st.floats(min_value=0.1, max_value=1.5))
+    def test_shear_preserves_mean(self, image, factor):
+        assert np.isclose(shear(image, factor).mean(), image.mean(), atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(images())
+    def test_major_rotation_preserves_multiset(self, image):
+        np.testing.assert_allclose(
+            np.sort(rotate(image, 270).ravel()), np.sort(image.ravel())
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(images())
+    def test_transforms_preserve_shape(self, image):
+        for out in (
+            rotate(image, 37.0),
+            shear(image, 0.8),
+            horizontal_flip(image),
+            vertical_flip(image),
+        ):
+            assert out.shape == image.shape
+
+
+class TestPSNRProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(images(side=6))
+    def test_self_psnr_is_ceiling(self, image):
+        assert psnr(image, image) == PSNR_CEILING
+
+    @settings(max_examples=20, deadline=None)
+    @given(images(side=6), st.floats(min_value=0.01, max_value=0.3))
+    def test_symmetric(self, image, eps):
+        other = np.clip(image + eps, 0, 1)
+        assert np.isclose(psnr(image, other), psnr(other, image))
+
+    @settings(max_examples=20, deadline=None)
+    @given(images(side=6), st.floats(min_value=0.01, max_value=0.2))
+    def test_monotone_in_perturbation(self, image, eps):
+        closer = image + eps / 2
+        farther = image + eps
+        assert psnr(image, closer) >= psnr(image, farther)
+
+    @settings(max_examples=20, deadline=None)
+    @given(images(side=6), images(side=6))
+    def test_bounded_above_by_ceiling(self, a, b):
+        assert psnr(a, b) <= PSNR_CEILING
+
+
+class TestAggregationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(arrays(np.float64, (4,), elements=finite_floats),
+                    min_size=1, max_size=6))
+    def test_average_within_convex_hull(self, grads):
+        updates = [{"w": g} for g in grads]
+        out = average_gradients(updates)["w"]
+        stacked = np.stack(grads)
+        assert np.all(out <= stacked.max(axis=0) + 1e-12)
+        assert np.all(out >= stacked.min(axis=0) - 1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.float64, (4,), elements=finite_floats),
+           st.integers(min_value=1, max_value=8))
+    def test_average_of_identical_is_identity(self, grad, count):
+        out = average_gradients([{"w": grad.copy()} for _ in range(count)])["w"]
+        np.testing.assert_allclose(out, grad, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.float64, (3,), elements=finite_floats),
+           arrays(np.float64, (3,), elements=finite_floats))
+    def test_permutation_invariance(self, a, b):
+        ab = average_gradients([{"w": a}, {"w": b}])["w"]
+        ba = average_gradients([{"w": b}, {"w": a}])["w"]
+        np.testing.assert_allclose(ab, ba, atol=1e-12)

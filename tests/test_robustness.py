@@ -1,0 +1,141 @@
+"""Failure injection and adversarial-input robustness.
+
+A defense library must behave sanely on malformed or hostile inputs:
+corrupted gradients, degenerate batches, extreme transformation
+parameters, and mismatched shapes must raise clearly or degrade
+gracefully — never silently produce wrong privacy conclusions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import CAHAttack, ImprintedModel, RTFAttack
+from repro.augment import Rotate, Shear, rotate, shear
+from repro.defense import OasisDefense
+from repro.fl import average_gradients, compute_batch_gradients
+from repro.metrics import average_attack_psnr, psnr
+from repro.nn import CrossEntropyLoss
+
+
+class TestCorruptedGradients:
+    def _crafted(self, cifar_like):
+        model = ImprintedModel(cifar_like.image_shape, 60, cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack = RTFAttack(60)
+        attack.calibrate_from_public_data(cifar_like.images[:50])
+        attack.craft(model)
+        return model, attack
+
+    def test_zeroed_gradients_produce_no_reconstructions(self, cifar_like):
+        model, attack = self._crafted(cifar_like)
+        zeros = {name: np.zeros_like(g) for name, g in model.grad_dict().items()}
+        assert len(attack.reconstruct(zeros)) == 0
+
+    def test_nan_gradients_do_not_crash_scoring(self, cifar_like, rng):
+        model, attack = self._crafted(cifar_like)
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        grads["imprint.weight"][0] = np.nan
+        result = attack.reconstruct(grads)
+        # NaN rows clip to NaN images; PSNR scoring must stay finite-safe
+        # for the non-corrupted reconstructions.
+        finite = [r for r in result.images if np.isfinite(r).all()]
+        assert len(finite) >= 1
+
+    def test_missing_imprint_keys_raise_keyerror(self, cifar_like):
+        _, attack = self._crafted(cifar_like)
+        with pytest.raises(KeyError):
+            attack.reconstruct({"head.weight": np.zeros((2, 2))})
+
+    def test_mismatched_update_keys_rejected_by_aggregation(self):
+        with pytest.raises(KeyError):
+            average_gradients([
+                {"a": np.zeros(2)},
+                {"a": np.zeros(2), "b": np.zeros(2)},
+            ])
+
+
+class TestDegenerateBatches:
+    def test_single_image_batch(self, cifar_like, rng):
+        model = ImprintedModel(cifar_like.image_shape, 60, cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack = RTFAttack(60)
+        attack.calibrate_from_public_data(cifar_like.images[:50])
+        attack.craft(model)
+        images, labels = cifar_like.sample_batch(1, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        result = attack.reconstruct(grads)
+        assert average_attack_psnr(images, result.images) > 100.0
+
+    def test_duplicate_images_share_every_bin(self, cifar_like, rng):
+        # Two identical images can never be separated by any attack: they
+        # have identical gradients, so only their (trivial) mixture exists.
+        model = ImprintedModel(cifar_like.image_shape, 60, cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack = RTFAttack(60)
+        attack.calibrate_from_public_data(cifar_like.images[:50])
+        attack.craft(model)
+        image, label = cifar_like.sample_batch(1, rng)
+        images = np.concatenate([image, image])
+        labels = np.concatenate([label, label])
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        result = attack.reconstruct(grads)
+        # The "mixture" of an image with itself IS the image.
+        assert average_attack_psnr(images, result.images) > 100.0
+
+    def test_constant_image_augments_cleanly(self):
+        flat = np.full((1, 3, 8, 8), 0.5)
+        defense = OasisDefense("MR+SH")
+        expanded, _ = defense.expand_batch(flat, np.zeros(1, dtype=np.int64))
+        assert np.isfinite(expanded).all()
+        np.testing.assert_allclose(expanded.mean(axis=(1, 2, 3)), 0.5, atol=1e-12)
+
+
+class TestExtremeTransformParameters:
+    def test_zero_rotation_is_identity(self, rng):
+        image = rng.random((3, 9, 9))
+        np.testing.assert_array_equal(rotate(image, 0.0), image)
+
+    def test_large_shear_keeps_range_and_mean(self, rng):
+        image = rng.random((3, 16, 16))
+        out = shear(image, 10.0)
+        assert np.isfinite(out).all()
+        assert np.isclose(out.mean(), image.mean(), atol=1e-10)
+
+    def test_negative_angles_supported(self, rng):
+        image = rng.random((3, 8, 8))
+        np.testing.assert_array_equal(rotate(image, -90.0), rotate(image, 270.0))
+
+    def test_tiny_images(self, rng):
+        image = rng.random((1, 2, 2))
+        for transform in (Rotate(90), Rotate(45), Shear(0.5)):
+            out = transform(image)
+            assert out.shape == image.shape
+            assert np.isfinite(out).all()
+
+
+class TestMetricEdgeCases:
+    def test_psnr_with_constant_images(self):
+        a = np.zeros((3, 4, 4))
+        assert np.isfinite(psnr(a, a))
+
+    def test_psnr_extreme_values(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 1e6)
+        assert psnr(a, b) < 0  # enormous error -> negative dB, not a crash
+
+    def test_cah_dedup_with_zero_vectors(self, cifar_like):
+        model = ImprintedModel(cifar_like.image_shape, 30, cifar_like.num_classes,
+                               rng=np.random.default_rng(1))
+        attack = CAHAttack(30, seed=2)
+        attack.calibrate_from_public_data(cifar_like.images[:50])
+        attack.craft(model)
+        grads = {
+            "imprint.weight": np.zeros((30, cifar_like.flat_dim)),
+            "imprint.bias": np.zeros(30),
+        }
+        grads["imprint.bias"][3] = 1e-3  # signal with an all-zero weight row
+        result = attack.reconstruct(grads)
+        assert np.isfinite(result.images).all()

@@ -1,0 +1,74 @@
+"""Utilities: RNG management, numeric helpers, checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.tensor import Tensor
+from repro.utils import new_rng, numerical_gradient, spawn_rngs
+from repro.utils.checkpoint import load_model, load_state, save_model, save_state
+
+
+class TestRng:
+    def test_new_rng_seeded(self):
+        assert new_rng(5).random() == new_rng(5).random()
+
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_rngs_reproducible(self):
+        first = [g.random() for g in spawn_rngs(7, 3)]
+        second = [g.random() for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        point = np.array([1.0, -2.0, 3.0])
+        grad = numerical_gradient(lambda p: float(np.sum(p ** 2)), point)
+        np.testing.assert_allclose(grad, 2 * point, atol=1e-6)
+
+    def test_leaves_point_unchanged(self):
+        point = np.array([1.0, 2.0])
+        original = point.copy()
+        numerical_gradient(lambda p: float(p.sum()), point)
+        np.testing.assert_array_equal(point, original)
+
+    def test_matrix_input(self, rng):
+        point = rng.standard_normal((2, 3))
+        grad = numerical_gradient(lambda p: float((p ** 3).sum()), point)
+        np.testing.assert_allclose(grad, 3 * point ** 2, atol=1e-5)
+
+
+class TestCheckpoint:
+    def test_state_roundtrip(self, tmp_path, rng):
+        state = {"a.weight": rng.standard_normal((3, 4)), "b": np.arange(5.0)}
+        path = save_state(tmp_path / "ckpt", state)
+        assert path.suffix == ".npz"
+        loaded = load_state(path)
+        assert set(loaded) == set(state)
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+
+    def test_model_roundtrip(self, tmp_path, rng):
+        model = MLP([6, 4, 2], rng=np.random.default_rng(0))
+        path = save_model(tmp_path / "model.npz", model)
+        other = MLP([6, 4, 2], rng=np.random.default_rng(99))
+        load_model(path, other)
+        x = Tensor(rng.standard_normal((3, 6)))
+        np.testing.assert_allclose(model(x).numpy(), other(x).numpy())
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_state(tmp_path / "deep" / "dir" / "x", {"w": np.ones(2)})
+        assert path.exists()
+
+    def test_loaded_arrays_are_writable(self, tmp_path):
+        path = save_state(tmp_path / "s", {"w": np.ones(2)})
+        loaded = load_state(path)
+        loaded["w"][0] = 5.0  # must not raise
