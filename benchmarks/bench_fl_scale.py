@@ -1,0 +1,186 @@
+"""FL scale bench: buffered aggregation speedup and rounds/sec vs fleet size.
+
+Two measurements back the federation engine's scalability claims:
+
+1. The engine packs every arriving update into a contiguous
+   :class:`~repro.fl.RoundBuffer`, so end-of-round aggregation over 100
+   clients is one vectorized reduction.  Against the seed's pure-Python
+   per-key loop (``average_gradients``-style accumulation over dicts) the
+   reduction must be at least 5x faster.  The parameter census mirrors a
+   small ResNet: dozens of small-to-medium tensors, which is exactly where
+   per-key Python overhead dominates.
+2. End-to-end federation throughput (rounds/sec) is recorded at 8/32/100
+   clients so regressions in the round loop show up as a number, not a
+   feeling.
+
+Results are recorded as a report and emitted to ``BENCH_fl_scale.json``
+next to this file.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_fl_scale.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import record_report
+from repro.data import make_synthetic_dataset
+from repro.fl import FederatedSimulation, FederationConfig, RoundBuffer, make_aggregator
+from repro.nn import MLP
+
+JSON_PATH = Path(__file__).parent / "BENCH_fl_scale.json"
+
+# A ResNet-ish parameter census: 20 conv blocks (kernel + two norm vectors)
+# plus a classifier head — 62 tensors, ~17k parameters.
+PARAM_SHAPES: dict[str, tuple[int, ...]] = {}
+for _i in range(20):
+    PARAM_SHAPES[f"block{_i}.conv.weight"] = (8, 8, 3, 3)
+    PARAM_SHAPES[f"block{_i}.norm.gamma"] = (8,)
+    PARAM_SHAPES[f"block{_i}.norm.beta"] = (8,)
+PARAM_SHAPES["fc.weight"] = (10, 512)
+PARAM_SHAPES["fc.bias"] = (10,)
+
+NUM_CLIENTS = 100
+_RESULTS: dict = {}
+
+
+def _make_updates(num_clients: int, seed: int = 0) -> list[dict[str, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    return [
+        {name: rng.standard_normal(shape) for name, shape in PARAM_SHAPES.items()}
+        for _ in range(num_clients)
+    ]
+
+
+def _python_loop_mean(updates: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """The seed's aggregation: a pure-Python per-key accumulation loop."""
+    weight = 1.0 / len(updates)
+    aggregated = {name: np.zeros_like(value) for name, value in updates[0].items()}
+    for update in updates:
+        for name, value in update.items():
+            aggregated[name] += weight * value
+    return aggregated
+
+
+def _best_of(fn, rounds: int = 9) -> float:
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_buffered_aggregation_speedup(benchmark):
+    updates = _make_updates(NUM_CLIENTS)
+    aggregator = make_aggregator("fedavg")
+    buffer = RoundBuffer.for_updates(updates)  # ingest-time packing
+
+    vectorized = benchmark.pedantic(
+        lambda: aggregator.aggregate_buffer(buffer), rounds=9, iterations=1
+    )
+    baseline = _python_loop_mean(updates)
+    for name in baseline:
+        np.testing.assert_allclose(vectorized[name], baseline[name], atol=1e-12)
+
+    loop_s = _best_of(lambda: _python_loop_mean(updates))
+    reduce_s = _best_of(lambda: aggregator.aggregate_buffer(buffer))
+    ingest_s = _best_of(lambda: RoundBuffer.for_updates(updates))
+    speedup = loop_s / reduce_s
+    assert speedup >= 5.0, (
+        f"buffered aggregation only {speedup:.1f}x faster than the Python loop"
+    )
+
+    robust = {
+        name: _best_of(lambda agg=make_aggregator(name): agg.aggregate_buffer(buffer))
+        for name in ("median", "trimmed_mean")
+    }
+    # masked_sum expands O(K^2) pairwise masks — time it at a modest fleet.
+    masked_buffer = RoundBuffer.for_updates(updates[:16])
+    robust["masked_sum@16"] = _best_of(
+        lambda: make_aggregator("masked_sum").aggregate_buffer(masked_buffer)
+    )
+
+    _RESULTS["aggregation"] = {
+        "num_clients": NUM_CLIENTS,
+        "num_tensors": len(PARAM_SHAPES),
+        "dim": buffer.dim,
+        "python_loop_s": loop_s,
+        "buffered_fedavg_s": reduce_s,
+        "ingest_packing_s": ingest_s,
+        "speedup": speedup,
+        "robust_rules_s": robust,
+    }
+    record_report(
+        "FL scale — buffered aggregation vs per-key Python loop (100 clients)",
+        f"python loop     {1e3 * loop_s:8.3f} ms\n"
+        f"buffered fedavg {1e3 * reduce_s:8.3f} ms   ({speedup:.1f}x, gate >= 5x)\n"
+        f"ingest packing  {1e3 * ingest_s:8.3f} ms   (amortized over arrivals)\n"
+        + "\n".join(
+            f"{name:<16}{1e3 * seconds:8.3f} ms" for name, seconds in robust.items()
+        ),
+    )
+    _write_json()
+
+
+def _rounds_per_sec(num_clients: int, dataset, rounds: int = 3) -> float:
+    config = FederationConfig(
+        num_clients=num_clients,
+        clients_per_round=num_clients,
+        batch_size=2,
+        dropout_rate=0.1,
+        seed=0,
+    )
+    sim = FederatedSimulation(
+        dataset,
+        lambda: MLP([dataset.flat_dim, 16, dataset.num_classes],
+                    rng=np.random.default_rng(0)),
+        config,
+    )
+    start = time.perf_counter()
+    records = sim.run(rounds)
+    elapsed = time.perf_counter() - start
+    assert len(records) == rounds
+    return rounds / elapsed
+
+
+def test_federation_rounds_per_sec(benchmark):
+    dataset = make_synthetic_dataset(4, 50, image_size=8, seed=31, name="scale")
+    scaling = benchmark.pedantic(
+        lambda: {n: _rounds_per_sec(n, dataset) for n in (8, 32, 100)},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(rate > 0.0 for rate in scaling.values())
+    # Throughput should degrade sublinearly vs the 12.5x fleet growth.
+    assert scaling[8] / scaling[100] < 50.0
+
+    _RESULTS["federation_rounds_per_sec"] = {
+        str(n): rate for n, rate in scaling.items()
+    }
+    record_report(
+        "FL scale — federation throughput vs fleet size (dropout 10%)",
+        "\n".join(
+            f"{n:>4} clients: {rate:7.2f} rounds/s"
+            for n, rate in scaling.items()
+        ),
+    )
+    _write_json()
+
+
+def _write_json() -> None:
+    # Merge with any existing file so running one bench in isolation does
+    # not drop the other bench's recorded section.
+    merged: dict = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged.update(_RESULTS)
+    JSON_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

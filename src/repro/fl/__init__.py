@@ -1,5 +1,17 @@
 """Federated learning simulator: clients, servers, rounds, aggregation."""
 
+from repro.fl.aggregators import (
+    Aggregator,
+    CoordinateMedianAggregator,
+    FedAvgAggregator,
+    MaskedSumAggregator,
+    RoundBuffer,
+    TrimmedMeanAggregator,
+    flat_spec,
+    flatten_updates,
+    make_aggregator,
+    unflatten_vector,
+)
 from repro.fl.client import Client
 from repro.fl.gradients import (
     average_gradients,
@@ -13,10 +25,22 @@ from repro.fl.server import DishonestServer, Server
 from repro.fl.simulator import (
     FederatedSimulation,
     FederationConfig,
+    dirichlet_partition_indices,
     partition_dataset,
+    partition_dataset_dirichlet,
 )
 
 __all__ = [
+    "Aggregator",
+    "FedAvgAggregator",
+    "CoordinateMedianAggregator",
+    "TrimmedMeanAggregator",
+    "MaskedSumAggregator",
+    "make_aggregator",
+    "RoundBuffer",
+    "flat_spec",
+    "flatten_updates",
+    "unflatten_vector",
     "Client",
     "Server",
     "DishonestServer",
@@ -31,4 +55,6 @@ __all__ = [
     "FederatedSimulation",
     "FederationConfig",
     "partition_dataset",
+    "partition_dataset_dirichlet",
+    "dirichlet_partition_indices",
 ]

@@ -1,0 +1,363 @@
+"""Pluggable server-side aggregation over stacked client updates.
+
+The seed hardcoded a per-key Python loop (``average_gradients``) inside
+``Server.run_round``; this module replaces that with an :class:`Aggregator`
+abstraction operating on a *flattened, stacked* representation: every
+client's named-gradient dict is packed into one contiguous ``float64``
+vector, the federation's round becomes a single ``(num_clients, dim)``
+matrix, and each rule reduces it with one vectorized numpy operation.
+For ~100 clients this is the difference between thousands of small ufunc
+calls and a single BLAS reduction (see ``benchmarks/bench_fl_scale.py``).
+
+Four rules ship with the engine:
+
+- :class:`FedAvgAggregator` — the paper's Eq. 1 weighted mean.
+- :class:`CoordinateMedianAggregator` — coordinate-wise median, robust to
+  a minority of crafted/byzantine updates.
+- :class:`TrimmedMeanAggregator` — coordinate-wise trimmed mean.
+- :class:`MaskedSumAggregator` — a secure-aggregation-style masked sum
+  (Bonawitz et al. / LightSecAgg regime): updates are fixed-point
+  quantized, each pair of surviving clients shares a pairwise additive
+  mask drawn over the full 64-bit ring, and masks cancel *exactly* in the
+  modular sum, so the server recovers the plain quantized sum bit-for-bit
+  while individual masked uploads are uniformly random.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+# (name, shape, size) triples describing how a flat vector maps back to a
+# named-gradient dict.
+FlatSpec = list[tuple[str, tuple[int, ...], int]]
+
+
+def flat_spec(update: dict[str, np.ndarray]) -> FlatSpec:
+    """Describe how ``update`` packs into a flat vector (key order preserved)."""
+    return [(name, value.shape, int(value.size)) for name, value in update.items()]
+
+
+class RoundBuffer:
+    """Contiguous (capacity, dim) staging area for one round's updates.
+
+    The engine packs each client update into its own matrix row *as it
+    arrives* (ingest time), so end-of-round aggregation is a single
+    vectorized reduction over :attr:`matrix` instead of the seed's per-key
+    Python loop over dicts.  In a deployment the packing cost overlaps the
+    wait for slower clients; here it simply moves the dict walking out of
+    the aggregation hot path.
+    """
+
+    def __init__(self, capacity: int, spec: FlatSpec) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.spec = spec
+        self.dim = sum(size for _, _, size in spec)
+        self._matrix = np.empty((capacity, self.dim), dtype=np.float64)
+        self._names = {name for name, _, _ in spec}
+        self._count = 0
+
+    @classmethod
+    def for_updates(cls, updates: Sequence[dict[str, np.ndarray]]) -> "RoundBuffer":
+        """Build a buffer sized for ``updates`` and pack them all."""
+        if not updates:
+            raise ValueError("no updates to aggregate")
+        buffer = cls(len(updates), flat_spec(updates[0]))
+        for update in updates:
+            buffer.add(update)
+        return buffer
+
+    def add(self, gradients: dict[str, np.ndarray]) -> None:
+        """Pack one arriving named-gradient dict into the next matrix row."""
+        if self._count >= len(self._matrix):
+            raise ValueError("round buffer is full")
+        if set(gradients) != self._names:
+            raise KeyError("updates carry mismatched parameter names")
+        row = self._matrix[self._count]
+        offset = 0
+        for name, _, size in self.spec:
+            row[offset : offset + size] = np.asarray(gradients[name]).reshape(size)
+            offset += size
+        self._count += 1
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The stacked (num_arrived, dim) update matrix."""
+        return self._matrix[: self._count]
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def flatten_updates(
+    updates: Sequence[dict[str, np.ndarray]],
+) -> tuple[np.ndarray, FlatSpec]:
+    """Stack named-gradient dicts into one contiguous (K, dim) matrix.
+
+    Returns ``(matrix, spec)`` where row ``k`` of ``matrix`` is client
+    ``k``'s update flattened in the key order of the first dict, and
+    ``spec`` records how to invert the packing (:func:`unflatten_vector`).
+    Raises :class:`ValueError` on an empty list and :class:`KeyError` when
+    updates carry mismatched parameter names.
+    """
+    buffer = RoundBuffer.for_updates(updates)
+    return buffer.matrix, buffer.spec
+
+
+def unflatten_vector(vector: np.ndarray, spec: FlatSpec) -> dict[str, np.ndarray]:
+    """Invert :func:`flatten_updates` for a single reduced (dim,) vector."""
+    out: dict[str, np.ndarray] = {}
+    offset = 0
+    for name, shape, size in spec:
+        out[name] = vector[offset : offset + size].reshape(shape)
+        offset += size
+    return out
+
+
+def _normalized_weights(
+    weights: Sequence[float] | None, count: int
+) -> np.ndarray:
+    """Validate and normalize per-client weights to a (K,) simplex vector."""
+    if weights is None:
+        return np.full(count, 1.0 / count)
+    if len(weights) != count:
+        raise ValueError("weights/updates length mismatch")
+    array = np.asarray(weights, dtype=np.float64)
+    total = float(array.sum())
+    if np.any(array < 0) or total <= 0.0:
+        raise ValueError("weights must be non-negative with a positive sum")
+    return array / total
+
+
+class Aggregator:
+    """Base class for server-side aggregation rules.
+
+    Subclasses implement :meth:`reduce` over the stacked ``(K, dim)``
+    update matrix; :meth:`aggregate` handles packing/unpacking of the
+    named-gradient dicts so every rule gets the vectorized path for free.
+    """
+
+    name = "base"
+
+    def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Reduce a (num_clients, dim) matrix to the (dim,) aggregate.
+
+        ``weights`` is the normalized per-client weight vector; rules that
+        are inherently unweighted (median, masked sum) may ignore it.
+        """
+        raise NotImplementedError
+
+    def aggregate(
+        self,
+        updates: Sequence[dict[str, np.ndarray]],
+        weights: Sequence[float] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Aggregate named-gradient dicts into one named-gradient dict."""
+        matrix, spec = flatten_updates(updates)
+        reduced = self.reduce(matrix, _normalized_weights(weights, len(updates)))
+        return unflatten_vector(reduced, spec)
+
+    def aggregate_buffer(
+        self,
+        buffer: RoundBuffer,
+        weights: Sequence[float] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Aggregate an ingest-stacked :class:`RoundBuffer` (the hot path).
+
+        Skips the dict flattening entirely — the buffer was packed as
+        updates arrived — so this is one vectorized reduction plus a
+        view-based unflatten.
+        """
+        if not len(buffer):
+            raise ValueError("no updates to aggregate")
+        reduced = self.reduce(
+            buffer.matrix, _normalized_weights(weights, len(buffer))
+        )
+        return unflatten_vector(reduced, buffer.spec)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FedAvgAggregator(Aggregator):
+    """Weighted arithmetic mean of client updates (paper Eq. 1).
+
+    With uniform weights this reproduces the seed's ``average_gradients``
+    semantics as a single matrix-vector product.
+    """
+
+    name = "fedavg"
+
+    def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return weights @ matrix
+
+
+class CoordinateMedianAggregator(Aggregator):
+    """Coordinate-wise median; ignores weights.
+
+    Robust to up to ``(K - 1) // 2`` arbitrarily corrupted updates per
+    coordinate, which makes it the standard byzantine-tolerant baseline.
+    """
+
+    name = "median"
+
+    def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return np.median(matrix, axis=0)
+
+
+class TrimmedMeanAggregator(Aggregator):
+    """Coordinate-wise trimmed mean: drop the ``trim_ratio`` tails, average.
+
+    ``trim_ratio`` is the fraction of clients trimmed from *each* end per
+    coordinate (so 0.25 with 4 clients keeps the middle two).  Ignores
+    weights; the surviving entries are averaged uniformly.
+    """
+
+    name = "trimmed_mean"
+
+    def __init__(self, trim_ratio: float = 0.1) -> None:
+        if not 0.0 <= trim_ratio < 0.5:
+            raise ValueError("trim_ratio must be in [0, 0.5)")
+        self.trim_ratio = trim_ratio
+
+    def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        count = len(matrix)
+        trim = min(int(self.trim_ratio * count), (count - 1) // 2)
+        if trim == 0:
+            return matrix.mean(axis=0)
+        ordered = np.sort(matrix, axis=0)
+        return ordered[trim : count - trim].mean(axis=0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(trim_ratio={self.trim_ratio})"
+
+
+class MaskedSumAggregator(Aggregator):
+    """Secure-aggregation-style masked sum with pairwise-cancelling masks.
+
+    Models the arithmetic core of LightSecAgg/Bonawitz-style protocols:
+
+    1. Each client fixed-point quantizes its update with scale
+       ``2**fractional_bits`` into the 64-bit two's-complement ring.
+    2. Every *surviving* pair ``(i, j)``, ``i < j``, expands a shared seed
+       into a mask drawn uniformly over the ring; ``i`` adds it, ``j``
+       subtracts it (mod ``2**64``), so each masked upload is uniformly
+       random on its own.  (Dropout is modeled by generating masks among
+       the survivors only — the real protocol's mask-recovery phase.)
+    3. The server sums the masked uploads in the ring; the masks cancel
+       *exactly*, so the result equals the plain quantized sum bit-for-bit
+       (integer arithmetic has no rounding), which is then dequantized.
+
+    Weights are ignored: a secure sum reveals only the uniform total, so
+    :meth:`reduce` returns ``sum / K`` to stay mean-scaled like FedAvg.
+    Exact while the true quantized sum stays within int64, i.e.
+    ``K * max|g| * 2**fractional_bits < 2**63``.  Mask expansion is
+    O(K^2 * dim) — faithful to the pairwise protocol, so keep federations
+    in the tens of clients when using this rule.
+    """
+
+    name = "masked_sum"
+
+    def __init__(self, fractional_bits: int = 16, seed: int = 0) -> None:
+        if fractional_bits < 0:
+            raise ValueError("fractional_bits must be non-negative")
+        self.fractional_bits = fractional_bits
+        self.scale = float(2 ** fractional_bits)
+        self._seed = seed
+        self._round = 0
+
+    def quantize(self, matrix: np.ndarray) -> np.ndarray:
+        """Fixed-point encode a float matrix into the uint64 ring.
+
+        Rejects updates whose quantized sum could leave the int64 range —
+        silent modular wraparound would otherwise corrupt the aggregate.
+        """
+        limit = 2.0 ** 62 / self.scale / max(len(matrix), 1)
+        magnitude = float(np.max(np.abs(matrix))) if matrix.size else 0.0
+        if not magnitude < limit:
+            raise ValueError(
+                f"update magnitude {magnitude:.3g} exceeds the masked-sum "
+                f"fixed-point range ({limit:.3g} for {len(matrix)} clients at "
+                f"{self.fractional_bits} fractional bits); clip updates or "
+                "lower fractional_bits"
+            )
+        return np.rint(matrix * self.scale).astype(np.int64).view(np.uint64)
+
+    def mask_updates(self, matrix: np.ndarray) -> np.ndarray:
+        """Quantize and mask the (K, dim) update matrix — what clients upload.
+
+        Every call draws a fresh round of pairwise masks (a new protocol
+        execution), derived deterministically from the aggregator seed.
+        """
+        masked = self.quantize(matrix).copy()
+        count, dim = masked.shape
+        if count < 2:
+            return masked
+        ceiling = np.iinfo(np.uint64).max
+        seeds = iter(
+            np.random.SeedSequence((self._seed, self._round)).spawn(
+                count * (count - 1) // 2
+            )
+        )
+        for i in range(count):
+            for j in range(i + 1, count):
+                mask = np.random.default_rng(next(seeds)).integers(
+                    ceiling, size=dim, dtype=np.uint64, endpoint=True
+                )
+                masked[i] += mask
+                masked[j] -= mask
+        return masked
+
+    def unmask_sum(self, masked: np.ndarray) -> np.ndarray:
+        """Ring-sum masked uploads and dequantize the recovered plain sum."""
+        total = masked.sum(axis=0, dtype=np.uint64)
+        return total.view(np.int64).astype(np.float64) / self.scale
+
+    def exact_sum(self, matrix: np.ndarray) -> np.ndarray:
+        """The unmasked fixed-point sum the protocol must recover bit-for-bit."""
+        total = self.quantize(matrix).sum(axis=0, dtype=np.uint64)
+        return total.view(np.int64).astype(np.float64) / self.scale
+
+    def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        masked = self.mask_updates(matrix)
+        self._round += 1
+        return self.unmask_sum(masked) / len(matrix)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(fractional_bits={self.fractional_bits})"
+
+
+_AGGREGATORS: dict[str, type[Aggregator]] = {
+    "fedavg": FedAvgAggregator,
+    "mean": FedAvgAggregator,
+    "median": CoordinateMedianAggregator,
+    "coordinate_median": CoordinateMedianAggregator,
+    "trimmed_mean": TrimmedMeanAggregator,
+    "masked_sum": MaskedSumAggregator,
+    "secure_agg": MaskedSumAggregator,
+}
+
+
+def make_aggregator(spec: "str | type[Aggregator] | Aggregator" = "fedavg", **kwargs) -> Aggregator:
+    """Resolve an aggregator from a registry name, class, or instance.
+
+    Accepts an :class:`Aggregator` instance (returned as-is; ``kwargs``
+    must be empty), an ``Aggregator`` subclass, or one of the registered
+    names: ``fedavg``/``mean``, ``median``/``coordinate_median``,
+    ``trimmed_mean``, ``masked_sum``/``secure_agg``.
+    """
+    if isinstance(spec, Aggregator):
+        if kwargs:
+            raise ValueError("cannot pass kwargs with an aggregator instance")
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Aggregator):
+        return spec(**kwargs)
+    try:
+        cls = _AGGREGATORS[str(spec).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregator {spec!r}; choose from {sorted(_AGGREGATORS)}"
+        ) from None
+    return cls(**kwargs)

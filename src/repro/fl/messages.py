@@ -32,9 +32,41 @@ class GradientUpdate:
 
 @dataclass
 class RoundRecord:
-    """Bookkeeping for one completed FL round."""
+    """Bookkeeping for one completed FL round.
+
+    ``participant_ids`` lists the clients whose updates actually entered
+    the aggregate (survivors plus any stale stragglers folded in this
+    round); the scenario fields break the selection down further:
+    ``selected_ids`` is the server's per-round sample, ``dropped_ids`` the
+    clients that failed before uploading, ``straggler_ids`` the clients
+    whose updates missed the round deadline, and ``stale_ids`` the late
+    updates from a *previous* round aggregated now (only when the server
+    runs with ``accept_stale=True``).
+    """
 
     round_index: int
     participant_ids: list[int]
     mean_loss: float
     attack_events: list[dict] = field(default_factory=list)
+    selected_ids: list[int] = field(default_factory=list)
+    dropped_ids: list[int] = field(default_factory=list)
+    straggler_ids: list[int] = field(default_factory=list)
+    stale_ids: list[int] = field(default_factory=list)
+    aggregator: str = "fedavg"
+
+    @property
+    def num_selected(self) -> int:
+        """How many clients the server sampled for this round."""
+        return len(self.selected_ids)
+
+    @property
+    def participation_rate(self) -> float:
+        """Fraction of selected clients whose update entered the aggregate.
+
+        Returns 1.0 when no selection breakdown was recorded (legacy
+        construction paths that only fill ``participant_ids``).
+        """
+        if not self.selected_ids:
+            return 1.0
+        fresh = len(self.participant_ids) - len(self.stale_ids)
+        return fresh / len(self.selected_ids)

@@ -1,8 +1,13 @@
 """FL servers: the honest coordinator and the actively dishonest attacker.
 
 :class:`Server` implements the paper's Sec. II-A protocol: per round,
-sample ``M`` of ``N`` clients, broadcast the global parameters, average the
-returned gradients, and take a gradient step (Eq. 1).
+sample ``M`` of ``N`` clients, broadcast the global parameters, aggregate
+the returned gradients, and take a gradient step (Eq. 1).  On top of the
+seed's fixed-participation FedAvg it now simulates the participation
+scenarios large-scale attacks assume (per-round sampling, client dropout,
+stragglers with optional stale inclusion) and delegates the reduction to a
+pluggable :class:`~repro.fl.aggregators.Aggregator` (FedAvg, coordinate
+median, trimmed mean, or a secure-aggregation-style masked sum).
 
 :class:`DishonestServer` additionally manipulates the global model before
 broadcasting (the paper's threat model) and runs gradient inversion on a
@@ -17,14 +22,31 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.attacks.base import ActiveReconstructionAttack, ReconstructionResult
+from repro.fl.aggregators import Aggregator, RoundBuffer, make_aggregator
 from repro.fl.client import Client
-from repro.fl.gradients import average_gradients
 from repro.fl.messages import GradientUpdate, ModelBroadcast, RoundRecord
 from repro.nn.module import Module
 
 
 class Server:
-    """Honest FL coordinator implementing gradient-averaged FedSGD (Eq. 1)."""
+    """Honest FL coordinator implementing gradient-averaged FedSGD (Eq. 1).
+
+    Scenario knobs:
+
+    - ``clients_per_round``: per-round uniform sampling of the fleet.
+    - ``dropout_rate``: probability a selected client fails before its
+      update arrives (it never computes one).
+    - ``straggler_rate``: probability a surviving client computes its
+      update but misses the round deadline.  Late updates are dropped
+      unless ``accept_stale=True``, in which case they are folded into the
+      *next* round's aggregate.
+    - ``aggregator``: an :class:`~repro.fl.aggregators.Aggregator`
+      instance, subclass, or registry name (``"fedavg"``, ``"median"``,
+      ``"trimmed_mean"``, ``"masked_sum"``).
+    - ``weight_by_examples``: weight the aggregate by each update's
+      ``num_examples`` instead of uniformly (only meaningful for rules
+      that honour weights, i.e. FedAvg).
+    """
 
     def __init__(
         self,
@@ -32,18 +54,36 @@ class Server:
         clients: Sequence[Client],
         learning_rate: float = 0.1,
         clients_per_round: Optional[int] = None,
+        aggregator: "str | type[Aggregator] | Aggregator" = "fedavg",
+        dropout_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        accept_stale: bool = False,
+        weight_by_examples: bool = False,
         seed: int = 0,
     ) -> None:
         if not clients:
             raise ValueError("server needs at least one client")
+        for rate, label in (
+            (dropout_rate, "dropout_rate"),
+            (straggler_rate, "straggler_rate"),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
         self.model = model
         self.clients = list(clients)
         self.learning_rate = learning_rate
         self.clients_per_round = clients_per_round or len(self.clients)
         self.clients_per_round = min(self.clients_per_round, len(self.clients))
+        self.aggregator = make_aggregator(aggregator)
+        self.dropout_rate = dropout_rate
+        self.straggler_rate = straggler_rate
+        self.accept_stale = accept_stale
+        self.weight_by_examples = weight_by_examples
         self._rng = np.random.default_rng(seed)
         self.round_index = 0
         self.history: list[RoundRecord] = []
+        self.last_aggregate: Optional[dict[str, np.ndarray]] = None
+        self._stale_updates: list[GradientUpdate] = []
 
     # ------------------------------------------------------------------
     # Hooks a dishonest subclass overrides
@@ -62,36 +102,96 @@ class Server:
     # Protocol
     # ------------------------------------------------------------------
     def select_clients(self) -> list[Client]:
+        """Uniformly sample this round's ``clients_per_round`` participants."""
         indices = self._rng.choice(
             len(self.clients), size=self.clients_per_round, replace=False
         )
         return [self.clients[i] for i in indices]
 
+    def simulate_participation(
+        self, participants: Sequence[Client]
+    ) -> tuple[list[Client], list[Client], list[Client]]:
+        """Split the selected clients into (active, dropped, stragglers).
+
+        Each selected client independently drops with ``dropout_rate``;
+        a survivor then straggles with ``straggler_rate``.  When both
+        rates are zero no randomness is consumed, so fixed-participation
+        federations reproduce the seed's RNG stream exactly.
+        """
+        if self.dropout_rate == 0.0 and self.straggler_rate == 0.0:
+            return list(participants), [], []
+        active: list[Client] = []
+        dropped: list[Client] = []
+        stragglers: list[Client] = []
+        for client in participants:
+            if self._rng.random() < self.dropout_rate:
+                dropped.append(client)
+            elif self._rng.random() < self.straggler_rate:
+                stragglers.append(client)
+            else:
+                active.append(client)
+        return active, dropped, stragglers
+
     def apply_aggregate(self, aggregated: dict[str, np.ndarray]) -> None:
-        """w_{t+1} = w_t - eta * mean gradient (Eq. 1)."""
+        """w_{t+1} = w_t - eta * aggregated gradient (Eq. 1)."""
         params = dict(self.model.named_parameters())
         for name, gradient in aggregated.items():
             if name in params:
                 params[name].data -= self.learning_rate * gradient
 
     def run_round(self) -> RoundRecord:
+        """One full protocol round under the configured scenario.
+
+        A round always completes: if no update arrives at all, the model
+        is simply left unchanged and the record shows an empty
+        participant list with ``mean_loss = nan``.  ``mean_loss``
+        averages over every update that entered the aggregate, stale
+        arrivals included.
+        """
         broadcast = self.prepare_broadcast()
-        participants = self.select_clients()
-        updates = [client.local_update(broadcast) for client in participants]
-        attack_events = self.inspect_updates(updates)
-        aggregated = average_gradients([u.gradients for u in updates])
-        self.apply_aggregate(aggregated)
+        selected = self.select_clients()
+        active, dropped, stragglers = self.simulate_participation(selected)
+        updates = [client.local_update(broadcast) for client in active]
+        late = [client.local_update(broadcast) for client in stragglers]
+        attack_events = self.inspect_updates(updates + late)
+        stale = self._stale_updates if self.accept_stale else []
+        self._stale_updates = late
+        arrivals = updates + stale
+        if arrivals:
+            # Each update is packed into the contiguous round buffer on
+            # arrival, so the aggregation itself is a single reduction.
+            buffer = RoundBuffer.for_updates([u.gradients for u in arrivals])
+            weights = (
+                [u.num_examples for u in arrivals]
+                if self.weight_by_examples
+                else None
+            )
+            aggregated = self.aggregator.aggregate_buffer(buffer, weights)
+            self.apply_aggregate(aggregated)
+            self.last_aggregate = aggregated
+        else:
+            self.last_aggregate = None
         record = RoundRecord(
             round_index=self.round_index,
-            participant_ids=[u.client_id for u in updates],
-            mean_loss=float(np.mean([u.loss for u in updates])),
+            participant_ids=[u.client_id for u in arrivals],
+            mean_loss=(
+                float(np.mean([u.loss for u in arrivals]))
+                if arrivals
+                else float("nan")
+            ),
             attack_events=attack_events,
+            selected_ids=[c.client_id for c in selected],
+            dropped_ids=[c.client_id for c in dropped],
+            straggler_ids=[c.client_id for c in stragglers],
+            stale_ids=[u.client_id for u in stale],
+            aggregator=self.aggregator.name,
         )
         self.history.append(record)
         self.round_index += 1
         return record
 
     def run(self, num_rounds: int) -> list[RoundRecord]:
+        """Run ``num_rounds`` consecutive protocol rounds."""
         return [self.run_round() for _ in range(num_rounds)]
 
 
@@ -101,7 +201,9 @@ class DishonestServer(Server):
     Before each broadcast it lets ``attack.craft`` overwrite the malicious
     layer of the global model; after collecting updates it inverts the
     targeted client's gradients.  Reconstructions are stored in
-    :attr:`reconstructions` keyed by round.
+    :attr:`reconstructions` keyed by round.  All honest-server scenario
+    knobs (sampling, dropout, stragglers, aggregator) pass through
+    ``**server_kwargs``.
     """
 
     def __init__(
@@ -110,28 +212,22 @@ class DishonestServer(Server):
         clients: Sequence[Client],
         attack: ActiveReconstructionAttack,
         target_client_id: Optional[int] = None,
-        learning_rate: float = 0.1,
-        clients_per_round: Optional[int] = None,
-        seed: int = 0,
+        **server_kwargs,
     ) -> None:
-        super().__init__(
-            model,
-            clients,
-            learning_rate=learning_rate,
-            clients_per_round=clients_per_round,
-            seed=seed,
-        )
+        super().__init__(model, clients, **server_kwargs)
         self.attack = attack
         self.target_client_id = target_client_id
         self.reconstructions: dict[int, ReconstructionResult] = {}
 
     def prepare_broadcast(self) -> ModelBroadcast:
+        """Craft the malicious model, then broadcast it as if honest."""
         self.attack.craft(self.model)
         return ModelBroadcast(
             round_index=self.round_index, state=self.model.state_dict()
         )
 
     def inspect_updates(self, updates: list[GradientUpdate]) -> list[dict]:
+        """Invert every targeted update that reaches the server this round."""
         events = []
         for update in updates:
             targeted = (

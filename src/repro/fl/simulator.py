@@ -1,7 +1,10 @@
 """High-level federated simulation: partitioning, assembly, evaluation.
 
 Convenience layer that turns a dataset + model factory + defense into a
-running federation, so examples and experiments stay short.
+running federation, so examples and experiments stay short.  Scenarios are
+described declaratively through :class:`FederationConfig`: IID or Dirichlet
+label-skewed partitioning, per-round client sampling, dropout/straggler
+rates, and the server-side aggregation rule.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import numpy as np
 
 from repro.data.synthetic import SyntheticImageDataset
 from repro.defense.base import ClientDefense
+from repro.fl.aggregators import Aggregator
 from repro.fl.client import Client
 from repro.fl.server import DishonestServer, Server
 from repro.metrics.accuracy import accuracy
@@ -37,15 +41,116 @@ def partition_dataset(
     return [dataset.subset(shard) for shard in shards]
 
 
+def dirichlet_partition_indices(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Dirichlet label-skew assignment of sample indices to clients.
+
+    For each class, client shares are drawn from ``Dirichlet(alpha)`` and
+    the class's (shuffled) samples are split at the cumulative-share
+    boundaries, so every sample lands on exactly one client for any
+    ``alpha > 0``.  Small ``alpha`` concentrates each class on few clients
+    (strong non-IID); large ``alpha`` approaches IID.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not alpha > 0.0:
+        raise ValueError("alpha must be positive")
+    labels = np.asarray(labels)
+    assignments: list[list[int]] = [[] for _ in range(num_clients)]
+    for cls in np.unique(labels):
+        indices = np.flatnonzero(labels == cls)
+        rng.shuffle(indices)
+        shares = rng.dirichlet(np.full(num_clients, alpha))
+        bounds = np.floor(np.cumsum(shares) * len(indices)).astype(int)
+        bounds = np.maximum.accumulate(np.clip(bounds, 0, len(indices)))
+        bounds[-1] = len(indices)
+        for client, piece in enumerate(np.split(indices, bounds[:-1])):
+            assignments[client].extend(piece.tolist())
+    return [np.asarray(sorted(a), dtype=np.int64) for a in assignments]
+
+
+def partition_dataset_dirichlet(
+    dataset: SyntheticImageDataset,
+    num_clients: int,
+    alpha: float = 0.5,
+    seed: int = 0,
+    min_per_client: int = 0,
+) -> list[SyntheticImageDataset]:
+    """Non-IID partition with Dirichlet(alpha) label skew per class.
+
+    When ``min_per_client`` is positive, samples are reassigned from the
+    largest shard until every client owns at least that many (Dirichlet
+    draws with small ``alpha`` routinely starve some clients entirely,
+    which a federation cannot train with).  The result always covers the
+    dataset exactly once.
+    """
+    if min_per_client * num_clients > len(dataset):
+        raise ValueError("fewer samples than clients require")
+    rng = np.random.default_rng(seed)
+    assignments = [
+        list(a)
+        for a in dirichlet_partition_indices(
+            dataset.labels, num_clients, alpha, rng
+        )
+    ]
+    while True:
+        smallest = min(range(num_clients), key=lambda i: len(assignments[i]))
+        if len(assignments[smallest]) >= min_per_client:
+            break
+        largest = max(range(num_clients), key=lambda i: len(assignments[i]))
+        assignments[smallest].append(assignments[largest].pop())
+    return [
+        dataset.subset(np.asarray(sorted(a), dtype=np.int64))
+        for a in assignments
+    ]
+
+
 @dataclass
 class FederationConfig:
-    """Knobs for assembling a simulation."""
+    """Declarative description of a federation scenario.
+
+    Beyond the seed's sizing knobs it selects the data partition
+    (``partition``: ``"iid"`` or ``"dirichlet"`` with ``dirichlet_alpha``
+    label skew), the participation scenario (``clients_per_round``
+    sampling, ``dropout_rate``, ``straggler_rate``, ``accept_stale``), and
+    the server-side ``aggregator`` (registry name, class, or instance —
+    see :func:`repro.fl.aggregators.make_aggregator`).
+    """
 
     num_clients: int = 10
     clients_per_round: Optional[int] = None
     batch_size: int = 8
     learning_rate: float = 0.1
     seed: int = 0
+    partition: str = "iid"
+    dirichlet_alpha: float = 0.5
+    dropout_rate: float = 0.0
+    straggler_rate: float = 0.0
+    accept_stale: bool = False
+    aggregator: "str | type[Aggregator] | Aggregator" = "fedavg"
+    weight_by_examples: bool = False
+
+    def make_shards(
+        self, dataset: SyntheticImageDataset
+    ) -> list[SyntheticImageDataset]:
+        """Partition ``dataset`` per the configured scheme, one shard per client."""
+        if self.partition == "iid":
+            return partition_dataset(dataset, self.num_clients, seed=self.seed)
+        if self.partition == "dirichlet":
+            return partition_dataset_dirichlet(
+                dataset,
+                self.num_clients,
+                alpha=self.dirichlet_alpha,
+                seed=self.seed,
+                min_per_client=1,
+            )
+        raise ValueError(
+            f"unknown partition {self.partition!r}; choose 'iid' or 'dirichlet'"
+        )
 
 
 class FederatedSimulation:
@@ -66,7 +171,7 @@ class FederatedSimulation:
         target_client_id: Optional[int] = None,
     ) -> None:
         self.config = config
-        shards = partition_dataset(dataset, config.num_clients, seed=config.seed)
+        shards = config.make_shards(dataset)
         loss_fn = CrossEntropyLoss()
         self.clients = [
             Client(
@@ -81,26 +186,29 @@ class FederatedSimulation:
             for i, shard in enumerate(shards)
         ]
         global_model = model_factory()
+        server_kwargs = dict(
+            learning_rate=config.learning_rate,
+            clients_per_round=config.clients_per_round,
+            aggregator=config.aggregator,
+            dropout_rate=config.dropout_rate,
+            straggler_rate=config.straggler_rate,
+            accept_stale=config.accept_stale,
+            weight_by_examples=config.weight_by_examples,
+            seed=config.seed,
+        )
         if attack is None:
-            self.server: Server = Server(
-                global_model,
-                self.clients,
-                learning_rate=config.learning_rate,
-                clients_per_round=config.clients_per_round,
-                seed=config.seed,
-            )
+            self.server: Server = Server(global_model, self.clients, **server_kwargs)
         else:
             self.server = DishonestServer(
                 global_model,
                 self.clients,
                 attack=attack,
                 target_client_id=target_client_id,
-                learning_rate=config.learning_rate,
-                clients_per_round=config.clients_per_round,
-                seed=config.seed,
+                **server_kwargs,
             )
 
     def run(self, num_rounds: int):
+        """Run the federation for ``num_rounds`` and return the records."""
         return self.server.run(num_rounds)
 
     def evaluate(self, dataset: SyntheticImageDataset, batch_size: int = 64) -> float:

@@ -1,4 +1,9 @@
-"""Shared fixtures: small deterministic datasets and generators."""
+"""Shared fixtures: small deterministic datasets and generators.
+
+Also installs the ``slow`` marker policy: scale-oriented protocol tests are
+marked ``@pytest.mark.slow`` and skipped by default (tier-1 stays fast);
+select them explicitly with ``-m slow`` (or any ``-m`` expression).
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,22 @@ import numpy as np
 import pytest
 
 from repro.data import make_synthetic_dataset, synthetic_cifar100, synthetic_imagenet
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: scale-oriented protocol tests, skipped unless selected with -m",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m", default=""):
+        return  # an explicit marker expression overrides the default gate
+    skip_slow = pytest.mark.skip(reason="slow scale test: select with -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

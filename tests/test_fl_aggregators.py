@@ -1,0 +1,247 @@
+"""Aggregators: exactness on hand-computed updates, robustness, masking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    Aggregator,
+    CoordinateMedianAggregator,
+    FedAvgAggregator,
+    MaskedSumAggregator,
+    TrimmedMeanAggregator,
+    average_gradients,
+    flatten_updates,
+    make_aggregator,
+    unflatten_vector,
+)
+
+ALL_NAMES = ["fedavg", "median", "trimmed_mean", "masked_sum"]
+
+
+def hand_updates():
+    return [
+        {"w": np.array([1.0, 3.0]), "b": np.array([[2.0]])},
+        {"w": np.array([3.0, 5.0]), "b": np.array([[4.0]])},
+        {"w": np.array([5.0, 7.0]), "b": np.array([[6.0]])},
+    ]
+
+
+class TestFlattening:
+    def test_round_trip(self):
+        updates = hand_updates()
+        matrix, spec = flatten_updates(updates)
+        assert matrix.shape == (3, 3)
+        restored = unflatten_vector(matrix[1], spec)
+        for name in updates[1]:
+            np.testing.assert_array_equal(restored[name], updates[1][name])
+
+    def test_rows_are_clients(self):
+        matrix, _ = flatten_updates(hand_updates())
+        np.testing.assert_array_equal(matrix[0], [1.0, 3.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            flatten_updates([])
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(KeyError):
+            flatten_updates([{"w": np.ones(2)}, {"v": np.ones(2)}])
+
+
+class TestFedAvg:
+    def test_exact_uniform_mean(self):
+        out = FedAvgAggregator().aggregate(hand_updates())
+        np.testing.assert_allclose(out["w"], [3.0, 5.0])
+        np.testing.assert_allclose(out["b"], [[4.0]])
+
+    def test_exact_weighted_mean(self):
+        out = FedAvgAggregator().aggregate(hand_updates(), weights=[1, 1, 2])
+        # (1*1 + 1*3 + 2*5) / 4 = 3.5 ; (1*3 + 1*5 + 2*7) / 4 = 5.5
+        np.testing.assert_allclose(out["w"], [3.5, 5.5])
+        np.testing.assert_allclose(out["b"], [[4.5]])
+
+    def test_matches_reference_average_gradients(self):
+        rng = np.random.default_rng(7)
+        updates = [
+            {"w": rng.standard_normal((3, 2)), "b": rng.standard_normal(4)}
+            for _ in range(9)
+        ]
+        fast = FedAvgAggregator().aggregate(updates)
+        reference = average_gradients(updates)
+        for name in reference:
+            np.testing.assert_allclose(fast[name], reference[name], atol=1e-12)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            FedAvgAggregator().aggregate(hand_updates(), weights=[1.0])
+        with pytest.raises(ValueError):
+            FedAvgAggregator().aggregate(hand_updates(), weights=[0.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            FedAvgAggregator().aggregate(hand_updates(), weights=[1.0, -1.0, 1.0])
+
+
+class TestCoordinateMedian:
+    def test_exact_on_hand_updates(self):
+        out = CoordinateMedianAggregator().aggregate(hand_updates())
+        np.testing.assert_array_equal(out["w"], [3.0, 5.0])
+        np.testing.assert_array_equal(out["b"], [[4.0]])
+
+    def test_tolerates_crafted_outlier(self):
+        updates = hand_updates()
+        updates[2] = {"w": np.array([1e9, -1e9]), "b": np.array([[1e9]])}
+        out = CoordinateMedianAggregator().aggregate(updates)
+        # The median lands on an honest client's coordinate, unmoved by the
+        # attacker's arbitrarily large values.
+        np.testing.assert_array_equal(out["w"], [3.0, 3.0])
+        np.testing.assert_array_equal(out["b"], [[4.0]])
+
+
+class TestTrimmedMean:
+    def test_exact_keeps_middle(self):
+        updates = [
+            {"w": np.array([0.0])},
+            {"w": np.array([2.0])},
+            {"w": np.array([4.0])},
+            {"w": np.array([100.0])},
+        ]
+        out = TrimmedMeanAggregator(trim_ratio=0.25).aggregate(updates)
+        np.testing.assert_array_equal(out["w"], [3.0])  # mean of {2, 4}
+
+    def test_tolerates_crafted_outlier(self):
+        honest = [{"w": np.full(3, float(v))} for v in (1.0, 2.0, 3.0)]
+        crafted = {"w": np.full(3, 1e12)}
+        out = TrimmedMeanAggregator(trim_ratio=0.25).aggregate(honest + [crafted])
+        np.testing.assert_array_equal(out["w"], np.full(3, 2.5))  # mean of {2, 3}
+
+    def test_zero_trim_is_mean(self):
+        out = TrimmedMeanAggregator(trim_ratio=0.0).aggregate(hand_updates())
+        np.testing.assert_allclose(out["w"], [3.0, 5.0])
+
+    def test_trim_never_empties(self):
+        # Ratio large enough to trim everything is clamped to leave the median.
+        out = TrimmedMeanAggregator(trim_ratio=0.49).aggregate(hand_updates())
+        np.testing.assert_allclose(out["w"], [3.0, 5.0])
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim_ratio=0.5)
+
+
+class TestMaskedSum:
+    def grid_updates(self, count=4, dim=6, seed=0):
+        """Updates on the 2^-16 fixed-point grid: quantization is lossless."""
+        rng = np.random.default_rng(seed)
+        return [
+            {"w": rng.integers(-4000, 4000, dim) / 1024.0} for _ in range(count)
+        ]
+
+    def test_recovers_plain_sum_bit_for_bit(self):
+        updates = self.grid_updates()
+        agg = MaskedSumAggregator(fractional_bits=16, seed=11)
+        matrix, _ = flatten_updates(updates)
+        recovered = agg.unmask_sum(agg.mask_updates(matrix))
+        # Grid-aligned values make the fixed-point sum equal the exact float
+        # sum, so mask cancellation must reproduce it to the last bit.
+        np.testing.assert_array_equal(recovered, agg.exact_sum(matrix))
+        np.testing.assert_array_equal(recovered, matrix.sum(axis=0))
+
+    def test_aggregate_equals_plain_mean_bit_for_bit(self):
+        updates = self.grid_updates(count=4)  # power of two: exact division
+        out = MaskedSumAggregator(fractional_bits=16, seed=5).aggregate(updates)
+        matrix, _ = flatten_updates(updates)
+        np.testing.assert_array_equal(out["w"], matrix.sum(axis=0) / 4.0)
+
+    def test_masked_uploads_hide_individual_updates(self):
+        updates = self.grid_updates()
+        agg = MaskedSumAggregator(seed=1)
+        matrix, _ = flatten_updates(updates)
+        masked = agg.mask_updates(matrix)
+        plain = agg.quantize(matrix)
+        # No client's masked upload may equal its plain quantized update.
+        for row in range(len(matrix)):
+            assert not np.array_equal(masked[row], plain[row])
+
+    def test_masks_are_fresh_each_round(self):
+        updates = self.grid_updates()
+        agg = MaskedSumAggregator(seed=1)
+        matrix, _ = flatten_updates(updates)
+        first = agg.mask_updates(matrix)
+        agg._round += 1
+        second = agg.mask_updates(matrix)
+        assert not np.array_equal(first, second)
+        # ... but both protocol executions recover the identical sum.
+        np.testing.assert_array_equal(agg.unmask_sum(first), agg.unmask_sum(second))
+
+    def test_survivor_subset_still_cancels(self):
+        # Dropout: masks are generated among survivors only, so the sum over
+        # any subset of clients is recovered exactly as well.
+        updates = self.grid_updates(count=6)
+        survivors = [updates[i] for i in (0, 2, 5)]
+        agg = MaskedSumAggregator(seed=9)
+        matrix, _ = flatten_updates(survivors)
+        np.testing.assert_array_equal(
+            agg.unmask_sum(agg.mask_updates(matrix)), matrix.sum(axis=0)
+        )
+
+    def test_single_client_passthrough(self):
+        updates = self.grid_updates(count=1)
+        out = MaskedSumAggregator(seed=2).aggregate(updates)
+        np.testing.assert_array_equal(out["w"], updates[0]["w"])
+
+    def test_overflowing_update_rejected(self):
+        # A byzantine client whose values would wrap the fixed-point ring
+        # must raise, not silently corrupt the aggregate.
+        updates = self.grid_updates(count=2)
+        updates[1]["w"] = np.full_like(updates[1]["w"], 1e15)
+        with pytest.raises(ValueError, match="fixed-point range"):
+            MaskedSumAggregator(fractional_bits=16).aggregate(updates)
+
+    def test_close_to_float_mean_off_grid(self):
+        rng = np.random.default_rng(3)
+        updates = [{"w": rng.standard_normal(8)} for _ in range(5)]
+        out = MaskedSumAggregator(fractional_bits=16).aggregate(updates)
+        plain = np.mean([u["w"] for u in updates], axis=0)
+        np.testing.assert_allclose(out["w"], plain, atol=2e-5)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_resolves_names(self, name):
+        assert make_aggregator(name).name in (name, "fedavg", "median")
+
+    def test_aliases(self):
+        assert isinstance(make_aggregator("mean"), FedAvgAggregator)
+        assert isinstance(make_aggregator("coordinate_median"), CoordinateMedianAggregator)
+        assert isinstance(make_aggregator("secure_agg"), MaskedSumAggregator)
+
+    def test_accepts_class_and_instance(self):
+        assert isinstance(make_aggregator(TrimmedMeanAggregator, trim_ratio=0.2),
+                          TrimmedMeanAggregator)
+        instance = FedAvgAggregator()
+        assert make_aggregator(instance) is instance
+
+    def test_instance_with_kwargs_rejected(self):
+        with pytest.raises(ValueError):
+            make_aggregator(FedAvgAggregator(), trim_ratio=0.2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_aggregator("krum")
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Aggregator().aggregate(hand_updates())
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_rule_preserves_shapes(self, name):
+        rng = np.random.default_rng(4)
+        updates = [
+            {"w": rng.standard_normal((2, 3)), "b": rng.standard_normal(5)}
+            for _ in range(6)
+        ]
+        out = make_aggregator(name).aggregate(updates)
+        assert out["w"].shape == (2, 3)
+        assert out["b"].shape == (5,)
+        assert all(np.isfinite(v).all() for v in out.values())

@@ -1,0 +1,291 @@
+"""Protocol-level scenario tests: sampling, dropout, stragglers, non-IID.
+
+Uses stub clients whose gradient is a known function of their id, so the
+round aggregate can be recomputed exactly from the participation record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_dataset
+from repro.fl import (
+    FederatedSimulation,
+    FederationConfig,
+    GradientUpdate,
+    Server,
+    partition_dataset_dirichlet,
+)
+from repro.nn import MLP
+from repro.nn.module import Module
+
+DIM = 4
+
+
+class StubClient:
+    """Deterministic fake client: every gradient entry equals its id."""
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+
+    def local_update(self, broadcast) -> GradientUpdate:
+        return GradientUpdate(
+            client_id=self.client_id,
+            round_index=broadcast.round_index,
+            num_examples=1,
+            gradients={"w": np.full(DIM, float(self.client_id))},
+            loss=float(self.client_id),
+        )
+
+
+def make_stub_server(num_clients, **kwargs):
+    return Server(Module(), [StubClient(i) for i in range(num_clients)], **kwargs)
+
+
+SCENARIOS = [(8, 0.0), (32, 0.1), (32, 0.3)]
+
+
+class TestDropoutScenarios:
+    @pytest.mark.parametrize("num_clients,dropout_rate", SCENARIOS)
+    def test_round_completes(self, num_clients, dropout_rate):
+        server = make_stub_server(num_clients, dropout_rate=dropout_rate, seed=42)
+        record = server.run_round()
+        assert server.round_index == 1
+        assert server.history == [record]
+        assert record.round_index == 0
+
+    @pytest.mark.parametrize("num_clients,dropout_rate", SCENARIOS)
+    def test_aggregate_is_mean_over_survivors_only(self, num_clients, dropout_rate):
+        server = make_stub_server(num_clients, dropout_rate=dropout_rate, seed=42)
+        record = server.run_round()
+        survivors = record.participant_ids
+        assert survivors, "seeded scenario should keep at least one survivor"
+        expected = np.full(DIM, np.mean(survivors))
+        np.testing.assert_allclose(server.last_aggregate["w"], expected, atol=1e-12)
+        # Dropped clients must not leak into the aggregate: recompute with
+        # every selected client and check it differs whenever any dropped.
+        if record.dropped_ids:
+            with_everyone = np.mean(record.selected_ids)
+            assert not np.isclose(with_everyone, np.mean(survivors))
+
+    @pytest.mark.parametrize("num_clients,dropout_rate", SCENARIOS)
+    def test_round_record_reports_participation(self, num_clients, dropout_rate):
+        server = make_stub_server(num_clients, dropout_rate=dropout_rate, seed=42)
+        record = server.run_round()
+        assert sorted(record.selected_ids) == list(range(num_clients))
+        assert sorted(record.participant_ids + record.dropped_ids) == sorted(
+            record.selected_ids
+        )
+        assert set(record.participant_ids).isdisjoint(record.dropped_ids)
+        assert not record.straggler_ids and not record.stale_ids
+        assert record.num_selected == num_clients
+        assert record.participation_rate == pytest.approx(
+            len(record.participant_ids) / num_clients
+        )
+        if dropout_rate == 0.0:
+            assert not record.dropped_ids
+            assert record.participation_rate == 1.0
+        else:
+            # Seed 42 was chosen so each lossy scenario actually drops someone.
+            assert record.dropped_ids
+        assert record.mean_loss == pytest.approx(np.mean(record.participant_ids))
+
+    def test_dropout_rates_respected_over_many_rounds(self):
+        server = make_stub_server(32, dropout_rate=0.3, seed=0)
+        records = server.run(50)
+        rates = [r.participation_rate for r in records]
+        assert 0.6 < np.mean(rates) < 0.8  # ~= 1 - dropout_rate
+
+    def test_full_dropout_round_still_completes(self):
+        server = make_stub_server(8, dropout_rate=1.0, seed=0)
+        record = server.run_round()
+        assert record.participant_ids == []
+        assert sorted(record.dropped_ids) == list(range(8))
+        assert np.isnan(record.mean_loss)
+        assert server.last_aggregate is None
+        assert server.round_index == 1
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            make_stub_server(4, dropout_rate=1.5)
+        with pytest.raises(ValueError):
+            make_stub_server(4, straggler_rate=-0.1)
+
+
+class TestAllAggregatorsUnderDropout:
+    @pytest.mark.parametrize(
+        "name", ["fedavg", "median", "trimmed_mean", "masked_sum"]
+    )
+    def test_round_survives_30pct_dropout(self, name):
+        server = make_stub_server(
+            32, dropout_rate=0.3, aggregator=name, seed=42
+        )
+        record = server.run_round()
+        survivors = record.participant_ids
+        assert survivors and record.aggregator in (name, "fedavg", "median")
+        aggregate = server.last_aggregate["w"]
+        assert np.all(np.isfinite(aggregate))
+        # Every rule must land inside the survivors' convex hull.
+        assert np.all(aggregate >= min(survivors) - 1e-6)
+        assert np.all(aggregate <= max(survivors) + 1e-6)
+
+    def test_fedavg_and_masked_sum_agree_under_dropout(self):
+        fedavg = make_stub_server(32, dropout_rate=0.3, aggregator="fedavg", seed=42)
+        masked = make_stub_server(32, dropout_rate=0.3, aggregator="masked_sum", seed=42)
+        a = fedavg.run_round()
+        b = masked.run_round()
+        assert a.participant_ids == b.participant_ids  # same RNG stream
+        np.testing.assert_allclose(
+            fedavg.last_aggregate["w"], masked.last_aggregate["w"], atol=1e-4
+        )
+
+
+class TestSamplingAndStragglers:
+    def test_sampling_composes_with_dropout(self):
+        server = make_stub_server(
+            32, clients_per_round=16, dropout_rate=0.3, seed=1
+        )
+        record = server.run_round()
+        assert record.num_selected == 16
+        assert len(record.participant_ids) + len(record.dropped_ids) == 16
+
+    def test_stragglers_excluded_by_default(self):
+        server = make_stub_server(16, straggler_rate=0.5, seed=3)
+        record = server.run_round()
+        assert record.straggler_ids, "seeded scenario should produce stragglers"
+        assert set(record.participant_ids).isdisjoint(record.straggler_ids)
+        expected = np.full(DIM, np.mean(record.participant_ids))
+        np.testing.assert_allclose(server.last_aggregate["w"], expected, atol=1e-12)
+
+    def test_stale_straggler_updates_fold_into_next_round(self):
+        server = make_stub_server(16, straggler_rate=0.5, accept_stale=True, seed=3)
+        first = server.run_round()
+        assert first.straggler_ids and not first.stale_ids
+        second = server.run_round()
+        assert sorted(second.stale_ids) == sorted(first.straggler_ids)
+        # The stale arrivals entered round two's aggregate alongside fresh ones.
+        expected = np.full(DIM, np.mean(second.participant_ids))
+        np.testing.assert_allclose(server.last_aggregate["w"], expected, atol=1e-12)
+        assert set(second.stale_ids) <= set(second.participant_ids)
+        # mean_loss covers everything aggregated, stale arrivals included.
+        assert second.mean_loss == pytest.approx(np.mean(second.participant_ids))
+
+    def test_weight_by_examples(self):
+        class Weighted(StubClient):
+            """Stub whose num_examples is 1 for even ids, 3 for odd ids."""
+
+            def local_update(self, broadcast):
+                update = super().local_update(broadcast)
+                update.num_examples = 1 if self.client_id % 2 == 0 else 3
+                return update
+
+        server = Server(
+            Module(), [Weighted(i) for i in range(4)], weight_by_examples=True
+        )
+        server.run_round()
+        # ids 0..3 with weights [1, 3, 1, 3] -> (0 + 3 + 2 + 9) / 8
+        np.testing.assert_allclose(
+            server.last_aggregate["w"], np.full(DIM, 14.0 / 8.0), atol=1e-12
+        )
+
+
+class TestNonIIDFederation:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_synthetic_dataset(4, 16, image_size=8, seed=21, name="noniid")
+
+    def test_dirichlet_shards_cover_dataset(self, dataset):
+        shards = partition_dataset_dirichlet(dataset, 6, alpha=0.2, seed=0,
+                                             min_per_client=1)
+        assert sum(len(s) for s in shards) == len(dataset)
+        assert all(len(s) >= 1 for s in shards)
+
+    def test_low_alpha_skews_labels(self, dataset):
+        shards = partition_dataset_dirichlet(dataset, 4, alpha=0.05, seed=2,
+                                             min_per_client=1)
+        skewed = [s for s in shards if len(s) >= 4]
+        assert skewed, "alpha=0.05 should concentrate classes onto few clients"
+        # At least one well-populated shard should be dominated by one class.
+        dominance = max(
+            np.bincount(s.labels, minlength=4).max() / len(s) for s in skewed
+        )
+        assert dominance > 0.5
+
+    def test_validates_inputs(self, dataset):
+        with pytest.raises(ValueError):
+            partition_dataset_dirichlet(dataset, 4, alpha=0.0)
+        with pytest.raises(ValueError):
+            partition_dataset_dirichlet(dataset, 0, alpha=1.0)
+        with pytest.raises(ValueError):
+            partition_dataset_dirichlet(
+                dataset, len(dataset) + 1, alpha=1.0, min_per_client=1
+            )
+
+    def test_full_scenario_simulation(self, dataset):
+        config = FederationConfig(
+            num_clients=6,
+            clients_per_round=4,
+            batch_size=2,
+            partition="dirichlet",
+            dirichlet_alpha=0.3,
+            dropout_rate=0.2,
+            aggregator="trimmed_mean",
+            seed=4,
+        )
+        sim = FederatedSimulation(
+            dataset,
+            lambda: MLP([dataset.flat_dim, 8, dataset.num_classes],
+                        rng=np.random.default_rng(0)),
+            config,
+        )
+        records = sim.run(4)
+        assert len(records) == 4
+        for record in records:
+            assert record.num_selected == 4
+            assert record.aggregator == "trimmed_mean"
+        assert 0.0 <= sim.evaluate(dataset) <= 1.0
+
+    def test_unknown_partition_rejected(self, dataset):
+        config = FederationConfig(num_clients=2, partition="sorted")
+        with pytest.raises(ValueError):
+            FederatedSimulation(
+                dataset,
+                lambda: MLP([dataset.flat_dim, 4, dataset.num_classes],
+                            rng=np.random.default_rng(0)),
+                config,
+            )
+
+
+@pytest.mark.slow
+class TestScale:
+    """Scale-oriented protocol tests, excluded from tier-1 by the slow marker."""
+
+    def test_hundred_client_federation_round(self):
+        dataset = make_synthetic_dataset(4, 50, image_size=8, seed=31, name="scale")
+        config = FederationConfig(
+            num_clients=100,
+            clients_per_round=64,
+            batch_size=2,
+            dropout_rate=0.1,
+            seed=0,
+        )
+        sim = FederatedSimulation(
+            dataset,
+            lambda: MLP([dataset.flat_dim, 16, dataset.num_classes],
+                        rng=np.random.default_rng(0)),
+            config,
+        )
+        records = sim.run(3)
+        assert all(r.num_selected == 64 for r in records)
+        assert all(np.isfinite(r.mean_loss) for r in records)
+
+    def test_stub_scale_all_aggregators(self):
+        for name in ("fedavg", "median", "trimmed_mean", "masked_sum"):
+            # masked_sum expands O(K^2) pairwise masks; keep K moderate.
+            count = 100 if name != "masked_sum" else 48
+            server = make_stub_server(count, dropout_rate=0.3,
+                                      aggregator=name, seed=8)
+            record = server.run_round()
+            assert record.participant_ids
+            assert np.all(np.isfinite(server.last_aggregate["w"]))

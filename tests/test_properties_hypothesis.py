@@ -1,23 +1,26 @@
 """Property-based tests (hypothesis) for core invariants.
 
-Four invariant families, each load-bearing for the reproduction:
+Six invariant families, each load-bearing for the reproduction:
 
 1. Autograd: gradients match finite differences on random inputs/shapes.
 2. Augmentation: the geometric identities the defense analysis relies on
    (mean preservation, involutions, rotation group structure).
 3. PSNR: metric axioms (symmetry in error magnitude, monotonicity, range).
 4. Aggregation: FedAvg linearity/convexity (Eq. 1).
+5. Partitioning: Dirichlet label skew covers every sample exactly once.
+6. Aggregators: every rule is invariant to the order clients report in.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import array_shapes, arrays
 
 from repro.augment import horizontal_flip, rotate, shear, vertical_flip
-from repro.fl import average_gradients
+from repro.fl import average_gradients, dirichlet_partition_indices, make_aggregator
 from repro.metrics import PSNR_CEILING, psnr
 from repro.tensor import Tensor
 from repro.utils import numerical_gradient
@@ -195,3 +198,44 @@ class TestAggregationProperties:
         ab = average_gradients([{"w": a}, {"w": b}])["w"]
         ba = average_gradients([{"w": b}, {"w": a}])["w"]
         np.testing.assert_allclose(ab, ba, atol=1e-12)
+
+
+class TestDirichletPartitionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labels=arrays(
+            np.int64,
+            array_shapes(min_dims=1, max_dims=1, min_side=1, max_side=60),
+            elements=st.integers(min_value=0, max_value=5),
+        ),
+        num_clients=st.integers(min_value=1, max_value=7),
+        alpha=st.floats(min_value=1e-3, max_value=100.0,
+                        allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_covers_all_samples_exactly_once(self, labels, num_clients, alpha, seed):
+        rng = np.random.default_rng(seed)
+        parts = dirichlet_partition_indices(labels, num_clients, alpha, rng)
+        assert len(parts) == num_clients
+        merged = np.sort(np.concatenate([p for p in parts] + [np.array([], int)]))
+        np.testing.assert_array_equal(merged, np.arange(len(labels)))
+
+
+class TestAggregatorOrderInvariance:
+    @pytest.mark.parametrize(
+        "name", ["fedavg", "median", "trimmed_mean", "masked_sum"]
+    )
+    @settings(max_examples=15, deadline=None)
+    @given(
+        grads=st.lists(arrays(np.float64, (5,), elements=finite_floats),
+                       min_size=2, max_size=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_aggregate_is_permutation_invariant(self, name, grads, seed):
+        updates = [{"w": g} for g in grads]
+        base = make_aggregator(name).aggregate(updates)["w"]
+        order = np.random.default_rng(seed).permutation(len(updates))
+        shuffled = make_aggregator(name).aggregate(
+            [updates[i] for i in order]
+        )["w"]
+        np.testing.assert_allclose(shuffled, base, atol=1e-9)
