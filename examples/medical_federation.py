@@ -61,7 +61,7 @@ def attack_federation(dataset, defense):
     simulation.run(ROUNDS)
     server = simulation.server
     target_batch = server.clients[0].last_batch[0]
-    return target_batch, server.reconstructions[0].images
+    return target_batch, server.reconstructions[(0, 0)].images
 
 
 def main() -> None:

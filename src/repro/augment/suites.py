@@ -42,6 +42,16 @@ class TransformSuite:
         """Return the transformed counterparts X'_t of ``image`` (Eq. 7)."""
         return [transform(image) for transform in self.transforms]
 
+    def expand_batch(self, images: np.ndarray) -> list[np.ndarray]:
+        """Batched :meth:`expand`: one ``(B, C, H, W)`` block per transform.
+
+        Uses each transform's vectorized
+        :meth:`~repro.augment.Transform.apply_batch` path, so expanding a
+        whole client batch costs one gather per transform instead of a
+        Python loop over images.
+        """
+        return [transform.apply_batch(images) for transform in self.transforms]
+
     def __len__(self) -> int:
         return len(self.transforms)
 

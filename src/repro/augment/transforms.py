@@ -1,7 +1,13 @@
 """Image transformations implementing Eqs. 2-5 of the OASIS paper.
 
 All transforms operate on a single image in (C, H, W) float layout with
-pixels in [0, 1] and return a new array of the same shape.
+pixels in [0, 1] and return a new array of the same shape.  Every
+:class:`Transform` additionally exposes :meth:`Transform.apply_batch`, a
+vectorized path over whole ``(B, C, H, W)`` batches that produces the same
+output as mapping ``__call__`` over the batch — the affine source grid is
+shared by every image, so it is computed once and gathered for all of them.
+The batched path is what makes OASIS batch expansion scale to the
+hundreds-of-clients rounds that large-scale attacks operate at.
 
 Geometric conventions:
 
@@ -43,24 +49,88 @@ def _inverse_map(
     deviation (well under 1% of the pixel range) and is imperceptible.
     """
     channels, height, width = image.shape
-    centre_i = (height - 1) / 2.0
-    centre_j = (width - 1) / 2.0
-    ii, jj = np.mgrid[0:height, 0:width].astype(np.float64)
-    ci = ii - centre_i
-    cj = jj - centre_j
-    src_i = matrix[0, 0] * ci + matrix[0, 1] * cj + centre_i
-    src_j = matrix[1, 0] * ci + matrix[1, 1] * cj + centre_j
-    src_i = np.rint(src_i).astype(np.int64)
-    src_j = np.rint(src_j).astype(np.int64)
-    inside = (src_i >= 0) & (src_i < height) & (src_j >= 0) & (src_j < width)
-    src_i_clipped = np.clip(src_i, 0, height - 1)
-    src_j_clipped = np.clip(src_j, 0, width - 1)
-    out = image[:, src_i_clipped, src_j_clipped].astype(np.float64)
+    src_i, src_j, inside = _source_grid(height, width, matrix)
+    out = image[:, src_i, src_j].astype(np.float64)
     channel_fill = image.reshape(channels, -1).mean(axis=1)
     out = np.where(inside[None, :, :], out, channel_fill[:, None, None])
     if preserve_mean:
         out += float(image.mean()) - out.mean()
     return out.astype(image.dtype, copy=False)
+
+
+def _source_grid(
+    height: int, width: int, matrix: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared inverse-mapping grid: (clipped src rows, clipped src cols, inside).
+
+    The grid depends only on the canvas size and the affine matrix, never on
+    pixel values, so a whole batch can reuse one grid — the core of the
+    vectorized :meth:`Transform.apply_batch` path.
+    """
+    centre_i = (height - 1) / 2.0
+    centre_j = (width - 1) / 2.0
+    ii, jj = np.mgrid[0:height, 0:width].astype(np.float64)
+    ci = ii - centre_i
+    cj = jj - centre_j
+    src_i = np.rint(matrix[0, 0] * ci + matrix[0, 1] * cj + centre_i).astype(np.int64)
+    src_j = np.rint(matrix[1, 0] * ci + matrix[1, 1] * cj + centre_j).astype(np.int64)
+    inside = (src_i >= 0) & (src_i < height) & (src_j >= 0) & (src_j < width)
+    return (
+        np.clip(src_i, 0, height - 1),
+        np.clip(src_j, 0, width - 1),
+        inside,
+    )
+
+
+def _inverse_map_batch(
+    images: np.ndarray,
+    matrix: np.ndarray,
+    preserve_mean: bool = True,
+) -> np.ndarray:
+    """Batched :func:`_inverse_map`: one shared grid, one gather for all images.
+
+    Produces the same values as mapping the scalar path over the batch (the
+    per-image mean fill and mean-preserving shift are computed per image).
+    """
+    batch, channels, height, width = images.shape
+    src_i, src_j, inside = _source_grid(height, width, matrix)
+    # One flat gather for the whole batch (take on a 2-D view beats a
+    # fancy double-index), then fill only the out-of-canvas pixels in
+    # place instead of allocating a full np.where copy.
+    flat_sources = (src_i * width + src_j).ravel()
+    out = (
+        images.reshape(batch * channels, height * width)
+        .take(flat_sources, axis=1)
+        .astype(np.float64, copy=False)
+        .reshape(batch, channels, height, width)
+    )
+    outside = ~inside
+    if outside.any():
+        channel_fill = images.reshape(batch, channels, -1).mean(axis=2)
+        out[:, :, outside] = channel_fill[:, :, None]
+    if preserve_mean:
+        shift = images.reshape(batch, -1).mean(axis=1) - out.reshape(batch, -1).mean(axis=1)
+        out += shift[:, None, None, None]
+    return out.astype(images.dtype, copy=False)
+
+
+def _rotation_spec(degrees: float) -> "tuple[int | None, np.ndarray | None]":
+    """Normalize an angle to (quarter_turns, None) or (None, inverse matrix).
+
+    Exact multiples of 90 degrees become grid rotations; anything else
+    becomes the inverse-mapping matrix.  Shared by the scalar and batched
+    rotation paths so the two can never disagree on which regime an angle
+    falls into.
+    """
+    degrees = degrees % 360.0
+    if np.isclose(degrees % 90.0, 0.0):
+        return int(round(degrees / 90.0)) % 4, None
+    theta = np.deg2rad(degrees)
+    # Inverse of a rotation by theta is a rotation by -theta.
+    matrix = np.array(
+        [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+    )
+    return None, matrix
 
 
 def rotate(image: np.ndarray, degrees: float, preserve_mean: bool = True) -> np.ndarray:
@@ -70,15 +140,9 @@ def rotate(image: np.ndarray, degrees: float, preserve_mean: bool = True) -> np.
     pixel multiset (and hence the mean) bit-for-bit; other angles use
     inverse mapping with mean fill (see :func:`_inverse_map`).
     """
-    degrees = degrees % 360.0
-    if np.isclose(degrees % 90.0, 0.0):
-        quarter_turns = int(round(degrees / 90.0)) % 4
+    quarter_turns, matrix = _rotation_spec(degrees)
+    if quarter_turns is not None:
         return np.rot90(image, k=quarter_turns, axes=(1, 2)).copy()
-    theta = np.deg2rad(degrees)
-    # Inverse of a rotation by theta is a rotation by -theta.
-    matrix = np.array(
-        [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
-    )
     return _inverse_map(image, matrix, preserve_mean=preserve_mean)
 
 
@@ -106,6 +170,15 @@ class Transform:
     def __call__(self, image: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        """Transform a whole ``(B, C, H, W)`` batch at once.
+
+        The base implementation maps :meth:`__call__` over the batch;
+        subclasses override it with a vectorized path that produces the
+        same output without the per-image Python loop.
+        """
+        return np.stack([self(image) for image in images])
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -115,6 +188,9 @@ class Identity(Transform):
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
         return image.copy()
+
+    def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        return images.copy()
 
 
 class Rotate(Transform):
@@ -126,6 +202,12 @@ class Rotate(Transform):
     def __call__(self, image: np.ndarray) -> np.ndarray:
         return rotate(image, self.degrees, preserve_mean=self.preserve_mean)
 
+    def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        quarter_turns, matrix = _rotation_spec(self.degrees)
+        if quarter_turns is not None:
+            return np.rot90(images, k=quarter_turns, axes=(2, 3)).copy()
+        return _inverse_map_batch(images, matrix, preserve_mean=self.preserve_mean)
+
     def __repr__(self) -> str:
         return f"Rotate({self.degrees})"
 
@@ -136,12 +218,18 @@ class HorizontalFlip(Transform):
     def __call__(self, image: np.ndarray) -> np.ndarray:
         return horizontal_flip(image)
 
+    def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        return np.flip(images, axis=3).copy()
+
 
 class VerticalFlip(Transform):
     name = "vflip"
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
         return vertical_flip(image)
+
+    def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        return np.flip(images, axis=2).copy()
 
 
 class Shear(Transform):
@@ -152,6 +240,10 @@ class Shear(Transform):
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
         return shear(image, self.factor, preserve_mean=self.preserve_mean)
+
+    def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        matrix = np.array([[1.0, self.factor], [0.0, 1.0]])
+        return _inverse_map_batch(images, matrix, preserve_mean=self.preserve_mean)
 
     def __repr__(self) -> str:
         return f"Shear({self.factor})"
@@ -168,6 +260,12 @@ class Compose(Transform):
         out = image
         for transform in self.transforms:
             out = transform(out)
+        return out
+
+    def apply_batch(self, images: np.ndarray) -> np.ndarray:
+        out = images
+        for transform in self.transforms:
+            out = transform.apply_batch(out)
         return out
 
     def __repr__(self) -> str:

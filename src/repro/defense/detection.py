@@ -8,8 +8,9 @@ known imprint attacks in a received state dict.
 
 Signatures checked per fully-connected weight/bias pair:
 
-- **RTF (structural)**: many identical (positively colinear) weight rows
-  with strictly monotone biases — the quantile-bin construction.
+- **RTF (structural)**: many mutually colinear weight rows (compared
+  against the dominant row direction, sign-insensitive) with strictly
+  monotone biases — the quantile-bin construction.
 - **CAH (functional)**: when the client probes the layer with its *own*
   data, trap weights show an implausibly sparse activation profile —
   nearly every neuron fires for only a small fraction of inputs, unlike
@@ -50,15 +51,23 @@ def _linear_pairs(state: dict[str, np.ndarray]):
 
 
 def _colinear_row_fraction(weight: np.ndarray, tolerance: float = 1e-6) -> float:
-    """Fraction of rows cosine-identical to the first nonzero row."""
+    """Fraction of rows colinear with the *dominant* row direction.
+
+    The reference is the modal row — the row with the most (anti)parallel
+    partners under ``|cosine| > 1 - tolerance`` — not ``rows[0]``: a server
+    aware of a first-row comparison could noise just that one imprint row
+    and drop the detected fraction to ~0 while keeping the attack intact.
+    Counting ``|cosine|`` also catches negated copies of the imprint
+    direction, which extract inputs just as well (Eq. 6 is sign-invariant).
+    """
     norms = np.linalg.norm(weight, axis=1)
     valid = norms > 1e-12
     if valid.sum() < 2:
         return 0.0
     rows = weight[valid] / norms[valid][:, None]
-    reference = rows[0]
-    cosines = rows @ reference
-    return float(np.mean(cosines > 1.0 - tolerance))
+    cosines = np.abs(rows @ rows.T)
+    partner_counts = (cosines > 1.0 - tolerance).sum(axis=1)
+    return float(partner_counts.max() / len(rows))
 
 
 def inspect_state(

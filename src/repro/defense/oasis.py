@@ -55,13 +55,18 @@ class OasisDefense(ClientDefense):
         transform in the suite, the transformed copies of the whole batch.
         The companion indices of original ``t`` are thus
         ``B*(k+1) + t`` for transform index ``k``.
+
+        Each transform block is produced by the suite's vectorized
+        :meth:`~repro.augment.TransformSuite.expand_batch` path — one
+        shared-grid gather per transform instead of a per-image Python
+        loop, which is what lets the defense keep up with large-scale
+        multi-client attack evaluation.
         """
         if len(images) == 0:
             return images.copy(), labels.copy()
         blocks = [images] if self.include_original else []
         label_blocks = [labels] if self.include_original else []
-        for transform in self.suite.transforms:
-            transformed = np.stack([transform(image) for image in images])
+        for transformed in self.suite.expand_batch(images):
             blocks.append(transformed.astype(images.dtype, copy=False))
             label_blocks.append(labels.copy())
         return np.concatenate(blocks, axis=0), np.concatenate(label_blocks, axis=0)

@@ -39,6 +39,19 @@ from repro.experiments.runner import (
     run_attack_trial,
     run_linear_trial,
 )
+from repro.experiments.sweep import (
+    DEFAULT_DEFENSES,
+    DEFAULT_SCENARIOS,
+    ParticipationScenario,
+    SweepCell,
+    SweepOutcome,
+    SweepRunner,
+    SweepStore,
+    dataset_fingerprint,
+    headline_ordering_holds,
+    scenario_from_dict,
+    scenario_to_dict,
+)
 from repro.experiments.visual import Gallery, reconstruction_gallery, render_pairs
 
 __all__ = [
@@ -50,6 +63,17 @@ __all__ = [
     "run_sweep",
     "monotone_in_batch_size",
     "SweepResult",
+    "SweepRunner",
+    "SweepStore",
+    "SweepCell",
+    "SweepOutcome",
+    "ParticipationScenario",
+    "DEFAULT_SCENARIOS",
+    "DEFAULT_DEFENSES",
+    "headline_ordering_holds",
+    "dataset_fingerprint",
+    "scenario_from_dict",
+    "scenario_to_dict",
     "PAPER_BATCH_SIZES",
     "PAPER_NEURON_COUNTS",
     "run_defense_lineup",

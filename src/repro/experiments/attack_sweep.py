@@ -17,6 +17,7 @@ import numpy as np
 from repro.data.synthetic import SyntheticImageDataset
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import average_over_trials
+from repro.experiments.sweep import SweepStore, dataset_fingerprint
 
 PAPER_BATCH_SIZES = (8, 16, 32, 64, 96, 128, 160, 192, 224, 256)
 PAPER_NEURON_COUNTS = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
@@ -57,13 +58,30 @@ def run_sweep(
     neuron_counts: tuple[int, ...] = PAPER_NEURON_COUNTS,
     num_trials: int = 2,
     seed: int = 0,
+    store: "SweepStore | None" = None,
 ) -> SweepResult:
-    """Reproduce one panel of Fig. 3 (RTF) or Fig. 4 (CAH)."""
+    """Reproduce one panel of Fig. 3 (RTF) or Fig. 4 (CAH).
+
+    Pass a :class:`~repro.experiments.SweepStore` to make the (n, B) grid
+    resumable: each finished cell is persisted under a key derived from the
+    full configuration, so re-running after an interruption only computes
+    the missing cells.
+    """
+    store = store if store is not None else SweepStore()
+    data_key = f"{dataset.name}:{dataset_fingerprint(dataset)}"
     grid = np.zeros((len(neuron_counts), len(batch_sizes)))
     for i, num_neurons in enumerate(neuron_counts):
         for j, batch_size in enumerate(batch_sizes):
             if batch_size > len(dataset):
                 grid[i, j] = np.nan
+                continue
+            key = (
+                f"fig34|{attack_name}|{data_key}|n{num_neurons}"
+                f"|B{batch_size}|t{num_trials}|s{seed}"
+            )
+            cached = store.get(key)
+            if cached is not None:
+                grid[i, j] = cached
                 continue
             grid[i, j], _ = average_over_trials(
                 dataset,
@@ -73,6 +91,7 @@ def run_sweep(
                 num_trials=num_trials,
                 seed=seed,
             )
+            store.put(key, float(grid[i, j]))
     result = SweepResult(
         attack=attack_name,
         dataset=dataset.name,

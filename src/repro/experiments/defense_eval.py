@@ -16,6 +16,7 @@ from repro.defense.base import NoDefense
 from repro.defense.oasis import OasisDefense
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_attack_trial, run_linear_trial
+from repro.experiments.sweep import SweepStore, dataset_fingerprint
 
 # The paper's strongest-attack settings (read off Figs. 3-4, Sec. IV-A).
 PAPER_SETTINGS = {
@@ -81,10 +82,26 @@ def run_defense_lineup(
     lineup: tuple[str, ...],
     num_trials: int = 2,
     seed: int = 0,
+    store: "SweepStore | None" = None,
 ) -> DefenseLineupResult:
-    """One panel of Fig. 5 (RTF) / Fig. 6 (CAH): PSNRs per transformation."""
+    """One panel of Fig. 5 (RTF) / Fig. 6 (CAH): PSNRs per transformation.
+
+    With a :class:`~repro.experiments.SweepStore`, each defense arm's PSNR
+    distribution is cached so interrupted lineups resume where they left
+    off.
+    """
+    store = store if store is not None else SweepStore()
+    data_key = f"{dataset.name}:{dataset_fingerprint(dataset)}"
     distributions: dict[str, np.ndarray] = {}
     for defense_name in lineup:
+        key = (
+            f"fig56|{attack_name}|{data_key}|B{batch_size}"
+            f"|n{num_neurons}|{defense_name}|t{num_trials}|s{seed}"
+        )
+        cached = store.get(key)
+        if cached is not None:
+            distributions[defense_name] = np.array(cached)
+            continue
         scores: list[float] = []
         for trial in range(num_trials):
             result = run_attack_trial(
@@ -96,6 +113,7 @@ def run_defense_lineup(
                 seed=seed + 31 * trial,
             )
             scores.extend(result.psnrs)
+        store.put(key, [float(score) for score in scores])
         distributions[defense_name] = np.array(scores)
     return DefenseLineupResult(
         attack=attack_name,

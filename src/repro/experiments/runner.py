@@ -23,7 +23,7 @@ from repro.data.loaders import class_balanced_batch
 from repro.data.synthetic import SyntheticImageDataset
 from repro.defense.base import ClientDefense, NoDefense
 from repro.fl.gradients import compute_defended_update
-from repro.metrics.psnr import average_attack_psnr, best_match_psnr, per_image_best_psnr
+from repro.metrics.psnr import match_reconstructions, per_image_best_psnr
 from repro.nn.losses import CrossEntropyLoss, LogisticLoss
 
 
@@ -135,7 +135,7 @@ def _score(
     batch_size: int,
     num_neurons: int,
 ) -> AttackTrialResult:
-    psnrs = [best_match_psnr(originals, recon)[0] for recon in result.images]
+    psnrs = [score for _, score in match_reconstructions(originals, result.images)]
     return AttackTrialResult(
         attack=attack,
         defense=defense,

@@ -1,0 +1,441 @@
+"""Grid sweep engine: attack x defense x participation-scenario evaluation.
+
+Large-scale active attacks (LOKI, ARES) reconstruct across hundreds of
+clients per round, so evaluating OASIS credibly means running every
+(attack, transformation suite, federation scenario) combination through the
+full dishonest-server protocol — not one hand-rolled loop per figure.  This
+module provides that engine:
+
+- :class:`ParticipationScenario` describes one federation shape (fleet
+  size, per-round sampling, dropout/stragglers, IID vs Dirichlet non-IID)
+  and lowers to the PR-1 :class:`~repro.fl.FederationConfig`.
+- :class:`SweepRunner` enumerates the cell grid, runs each cell through
+  :class:`~repro.fl.DishonestServer` with ``target_client_id=None`` (every
+  arriving update is inverted — the multi-victim regime), and scores all
+  reconstructions with the vectorized pairwise-PSNR matcher.
+- :class:`SweepStore` is a resumable JSON result store: each finished cell
+  is persisted immediately, so an interrupted sweep resumes without
+  recomputing completed cells.  The per-figure harnesses
+  (``attack_sweep``, ``defense_eval``) share the same store for their own
+  grids.
+
+The expected headline shape (paper Fig. 5): for each scenario, the
+(attack, no-defense) cell's mean PSNR strictly exceeds the (attack, MR)
+cell's — reproduced by :func:`headline_ordering_holds`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.defense.oasis import OasisDefense
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import make_attack
+from repro.fl.simulator import FederatedSimulation, FederationConfig
+from repro.metrics.psnr import match_reconstructions
+
+
+def dataset_fingerprint(dataset: SyntheticImageDataset) -> str:
+    """Short content digest of a dataset, for cache keys.
+
+    Covers the name, shapes, and the actual pixel/label bytes: two
+    datasets that merely share a name (same generator, different seed)
+    must never serve each other's cached results.
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode())
+    digest.update(repr(dataset.images.shape).encode())
+    digest.update(np.ascontiguousarray(dataset.images).tobytes())
+    digest.update(np.ascontiguousarray(dataset.labels).tobytes())
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class ParticipationScenario:
+    """One federation shape a sweep cell runs under (PR-1 scenario knobs)."""
+
+    name: str
+    num_clients: int = 2
+    clients_per_round: Optional[int] = None
+    dropout_rate: float = 0.0
+    straggler_rate: float = 0.0
+    accept_stale: bool = False
+    partition: str = "iid"
+    dirichlet_alpha: float = 0.5
+    aggregator: str = "fedavg"
+    weight_by_examples: bool = False
+
+    def to_config(self, batch_size: int, seed: int) -> FederationConfig:
+        """Lower this scenario to a :class:`~repro.fl.FederationConfig`."""
+        return FederationConfig(
+            num_clients=self.num_clients,
+            clients_per_round=self.clients_per_round,
+            batch_size=batch_size,
+            seed=seed,
+            partition=self.partition,
+            dirichlet_alpha=self.dirichlet_alpha,
+            dropout_rate=self.dropout_rate,
+            straggler_rate=self.straggler_rate,
+            accept_stale=self.accept_stale,
+            aggregator=self.aggregator,
+            weight_by_examples=self.weight_by_examples,
+        )
+
+
+# The sweep's default scenario lineup: full participation, per-round
+# sampling, client dropout, and Dirichlet label skew — the participation
+# regimes PR 1's federation engine simulates.
+DEFAULT_SCENARIOS: tuple[ParticipationScenario, ...] = (
+    ParticipationScenario("full", num_clients=2),
+    ParticipationScenario("sampled", num_clients=4, clients_per_round=2),
+    ParticipationScenario("dropout", num_clients=4, dropout_rate=0.25),
+    ParticipationScenario(
+        "noniid", num_clients=4, partition="dirichlet", dirichlet_alpha=0.3
+    ),
+)
+
+# The defense arms of the paper's figures: no defense plus every named
+# transformation suite (Fig. 5 singles and the Fig. 6 MR+SH integration).
+DEFAULT_DEFENSES: tuple[str, ...] = (
+    "WO", "MR", "mR", "SH", "HFlip", "VFlip", "MR+SH",
+)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (attack, defense, scenario) coordinate of the grid."""
+
+    attack: str
+    defense: str
+    scenario: str
+
+    @property
+    def key(self) -> str:
+        """Stable store key for this cell."""
+        return f"{self.attack}|{self.defense}|{self.scenario}"
+
+
+class SweepStore:
+    """Resumable JSON store of finished cells.
+
+    Every :meth:`put` rewrites the backing file, so a killed sweep loses at
+    most the cell in flight; re-running with the same store skips every
+    key already present (tracked by the ``hits``/``misses`` counters the
+    tests assert on).  With ``path=None`` the store is memory-only — same
+    interface, no persistence.
+    """
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._cells: dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+            except (ValueError, OSError):
+                payload = {}
+            cells = payload.get("cells", {})
+            if isinstance(cells, dict):
+                self._cells = cells
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def get(self, key: str):
+        """Return the cached value for ``key`` (None on miss), counting."""
+        if key in self._cells:
+            self.hits += 1
+            return self._cells[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        """Record ``key`` and persist immediately (resume safety)."""
+        self._cells[key] = value
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(
+                json.dumps({"cells": self._cells}, indent=2, sort_keys=True)
+                + "\n"
+            )
+            tmp.replace(self.path)
+
+    def keys(self) -> list[str]:
+        """All cached cell keys, insertion-ordered."""
+        return list(self._cells)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one :meth:`SweepRunner.run` call produced.
+
+    ``results`` maps cell keys to per-cell metric dicts; ``computed`` and
+    ``cached`` split the grid into cells evaluated this run vs served from
+    the store.
+    """
+
+    results: dict[str, dict] = field(default_factory=dict)
+    computed: list[str] = field(default_factory=list)
+    cached: list[str] = field(default_factory=list)
+
+    def mean_psnr(self, attack: str, defense: str, scenario: str) -> float:
+        """The headline metric of one cell."""
+        return float(
+            self.results[SweepCell(attack, defense, scenario).key]["mean_psnr"]
+        )
+
+    def to_table(self) -> str:
+        """Render the grid: one row per (attack, scenario), suites as columns."""
+        defenses: list[str] = []
+        for result in self.results.values():
+            if result["defense"] not in defenses:
+                defenses.append(result["defense"])
+        pairs = []
+        for result in self.results.values():
+            pair = (result["attack"], result["scenario"])
+            if pair not in pairs:
+                pairs.append(pair)
+        rows = []
+        for attack, scenario in pairs:
+            row = [f"{attack}/{scenario}"]
+            for defense in defenses:
+                cell = self.results.get(SweepCell(attack, defense, scenario).key)
+                row.append("-" if cell is None else f"{cell['mean_psnr']:.1f}")
+            rows.append(row)
+        return format_table(["attack/scenario"] + list(defenses), rows)
+
+
+class SweepRunner:
+    """Enumerate and evaluate an attack x defense x scenario grid.
+
+    Each cell builds a fresh federation for its scenario, lets the
+    dishonest server invert *every* arriving update for ``rounds`` rounds,
+    and scores all reconstructions against the emitting client's private
+    batch with the vectorized matcher.  Cell results are cached in a
+    :class:`SweepStore` keyed by the cell coordinates plus a fingerprint
+    of the full configuration (see :meth:`store_key`), making long sweeps
+    resumable without ever serving results from a different setup.
+
+    Parameters
+    ----------
+    dataset:
+        The private dataset; partitioned per scenario.
+    attacks / defenses / scenarios:
+        The grid axes.  Defenses are ``"WO"`` (no defense) or transformation
+        suite names; scenarios are :class:`ParticipationScenario` entries
+        with unique names.
+    store:
+        A :class:`SweepStore`, a path for one, or None for memory-only.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        attacks: Sequence[str] = ("rtf", "cah"),
+        defenses: Sequence[str] = DEFAULT_DEFENSES,
+        scenarios: Sequence[ParticipationScenario] = DEFAULT_SCENARIOS,
+        batch_size: int = 4,
+        num_neurons: int = 64,
+        rounds: int = 1,
+        public_size: int = 128,
+        seed: int = 0,
+        store: "SweepStore | str | Path | None" = None,
+    ) -> None:
+        if not attacks or not defenses or not scenarios:
+            raise ValueError("every grid axis needs at least one entry")
+        names = [scenario.name for scenario in scenarios]
+        for axis_label, axis in (
+            ("attacks", list(attacks)),
+            ("defenses", list(defenses)),
+            ("scenario names", names),
+        ):
+            if len(axis) != len(set(axis)):
+                raise ValueError(f"duplicate {axis_label} in {axis}")
+        self.dataset = dataset
+        self.attacks = tuple(attacks)
+        self.defenses = tuple(defenses)
+        self.scenarios = {scenario.name: scenario for scenario in scenarios}
+        self.batch_size = batch_size
+        self.num_neurons = num_neurons
+        self.rounds = rounds
+        self.public_size = public_size
+        self.seed = seed
+        self._dataset_fingerprint = dataset_fingerprint(dataset)
+        if isinstance(store, SweepStore):
+            self.store = store
+        else:
+            self.store = SweepStore(store)
+
+    def cells(self) -> list[SweepCell]:
+        """The grid in deterministic attack-major order."""
+        return [
+            SweepCell(attack, defense, scenario)
+            for attack in self.attacks
+            for defense in self.defenses
+            for scenario in self.scenarios
+        ]
+
+    def store_key(self, cell: SweepCell) -> str:
+        """Store key for ``cell``, scoped to the full cell configuration.
+
+        Beyond the grid coordinates, the key fingerprints everything that
+        shapes the cell's result — the dataset's *content* (not just its
+        name), batch size, neuron count, rounds, public-prior size, seed,
+        and the scenario's *parameters* (a name alone would let a
+        renamed-but-different scenario, or a regenerated dataset under the
+        same name, silently serve stale numbers from a reused store file).
+        """
+        scenario = self.scenarios[cell.scenario]
+        fingerprint = hashlib.sha256(
+            json.dumps(
+                {
+                    "dataset": self._dataset_fingerprint,
+                    "batch_size": self.batch_size,
+                    "num_neurons": self.num_neurons,
+                    "rounds": self.rounds,
+                    "public_size": self.public_size,
+                    "seed": self.seed,
+                    "scenario": scenario_to_dict(scenario),
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()[:12]
+        return f"{cell.key}|{fingerprint}"
+
+    def _model_factory(self):
+        from repro.attacks.imprint import ImprintedModel
+
+        dataset = self.dataset
+        num_neurons = self.num_neurons
+        seed = self.seed
+
+        def factory():
+            return ImprintedModel(
+                dataset.image_shape,
+                num_neurons,
+                dataset.num_classes,
+                rng=np.random.default_rng(seed + 1),
+            )
+
+        return factory
+
+    def run_cell(self, cell: SweepCell) -> dict:
+        """Evaluate one cell through the full dishonest-server protocol."""
+        scenario = self.scenarios[cell.scenario]
+        attack = make_attack(
+            cell.attack,
+            self.num_neurons,
+            self.dataset.images[: self.public_size],
+            seed=self.seed,
+        )
+        defense = None if cell.defense == "WO" else OasisDefense(cell.defense)
+        start = time.perf_counter()
+        simulation = FederatedSimulation(
+            self.dataset,
+            self._model_factory(),
+            scenario.to_config(self.batch_size, self.seed),
+            defense=defense,
+            attack=attack,
+            target_client_id=None,
+        )
+        server = simulation.server
+        clients_by_id = {client.client_id: client for client in server.clients}
+        psnrs: list[float] = []
+        num_reconstructions = 0
+        for _ in range(self.rounds):
+            record = server.run_round()
+            for client_id, result in server.round_reconstructions(
+                record.round_index
+            ):
+                num_reconstructions += len(result)
+                if len(result) == 0:
+                    continue
+                originals = clients_by_id[client_id].last_batch[0]
+                psnrs.extend(
+                    score
+                    for _, score in match_reconstructions(
+                        originals, result.images
+                    )
+                )
+        return {
+            "attack": cell.attack,
+            "defense": cell.defense,
+            "scenario": cell.scenario,
+            "mean_psnr": float(np.mean(psnrs)) if psnrs else 0.0,
+            "max_psnr": float(np.max(psnrs)) if psnrs else 0.0,
+            "num_reconstructions": num_reconstructions,
+            "num_scored": len(psnrs),
+            "rounds": self.rounds,
+            "elapsed_s": time.perf_counter() - start,
+        }
+
+    def run(self) -> SweepOutcome:
+        """Evaluate the whole grid, serving finished cells from the store."""
+        outcome = SweepOutcome()
+        for cell in self.cells():
+            store_key = self.store_key(cell)
+            cached = self.store.get(store_key)
+            if cached is not None:
+                outcome.results[cell.key] = cached
+                outcome.cached.append(cell.key)
+                continue
+            result = self.run_cell(cell)
+            self.store.put(store_key, result)
+            outcome.results[cell.key] = result
+            outcome.computed.append(cell.key)
+        return outcome
+
+
+def headline_ordering_holds(
+    outcome: SweepOutcome,
+    attack: str = "rtf",
+    undefended: str = "WO",
+    defended: str = "MR",
+) -> bool:
+    """Paper Fig. 5 shape: no-defense PSNR beats the defended cell everywhere.
+
+    Checks every scenario present for ``attack``; vacuously False when the
+    outcome contains no such pair.
+    """
+    scenarios = {
+        result["scenario"]
+        for result in outcome.results.values()
+        if result["attack"] == attack
+    }
+    checked = False
+    for scenario in scenarios:
+        baseline_key = SweepCell(attack, undefended, scenario).key
+        defended_key = SweepCell(attack, defended, scenario).key
+        if baseline_key not in outcome.results or defended_key not in outcome.results:
+            continue
+        checked = True
+        if (
+            outcome.results[baseline_key]["mean_psnr"]
+            <= outcome.results[defended_key]["mean_psnr"]
+        ):
+            return False
+    return checked
+
+
+def scenario_from_dict(payload: dict) -> ParticipationScenario:
+    """Rebuild a :class:`ParticipationScenario` from its ``asdict`` payload."""
+    return ParticipationScenario(**payload)
+
+
+def scenario_to_dict(scenario: ParticipationScenario) -> dict:
+    """JSON-serializable form of a scenario (inverse of
+    :func:`scenario_from_dict`)."""
+    return asdict(scenario)

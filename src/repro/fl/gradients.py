@@ -72,8 +72,17 @@ def compute_defended_update(
     ATS replacement), gradient computation (per-sample clipped when the
     defense sets ``per_sample_clip``, plain batch otherwise), and the
     defense's finalize hook (noising / pruning).  Returns
-    (gradients, loss, number of training examples used).
+    (gradients, loss, original batch size).
+
+    The reported example count is deliberately the *pre-expansion* batch
+    size: OASIS expansion is a local privacy mechanism, not extra client
+    data, so under example-weighted FedAvg a defended client must carry
+    the same weight as an undefended one (reporting the expanded count
+    would hand it 4-7x the influence).  The finalize hook still receives
+    the expanded count, because noise calibration (DP-SGD's sigma*C/B)
+    tracks the batch the gradients were actually averaged over.
     """
+    num_examples = len(images)
     images, labels = defense.process_batch(images, labels, rng)
     if defense.per_sample_clip is not None:
         clipped = []
@@ -91,7 +100,7 @@ def compute_defended_update(
             model, loss_fn, images, labels
         )
     gradients = defense.finalize_update(gradients, len(images), rng)
-    return gradients, loss_value, len(images)
+    return gradients, loss_value, num_examples
 
 
 def average_gradients(
@@ -106,6 +115,10 @@ def average_gradients(
     if len(weights) != len(updates):
         raise ValueError("weights/updates length mismatch")
     total = float(sum(weights))
+    if total == 0.0:
+        raise ValueError(
+            "aggregation weights sum to zero; no update can carry the round"
+        )
     aggregated = {
         name: np.zeros_like(value) for name, value in updates[0].items()
     }

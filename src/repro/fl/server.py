@@ -201,9 +201,13 @@ class DishonestServer(Server):
     Before each broadcast it lets ``attack.craft`` overwrite the malicious
     layer of the global model; after collecting updates it inverts the
     targeted client's gradients.  Reconstructions are stored in
-    :attr:`reconstructions` keyed by round.  All honest-server scenario
-    knobs (sampling, dropout, stragglers, aggregator) pass through
-    ``**server_kwargs``.
+    :attr:`reconstructions` keyed by ``(round_index, client_id)`` — keying
+    by round alone would let a later client's result silently clobber an
+    earlier one when every client is targeted (``target_client_id=None``),
+    exactly the multi-victim regime large-scale attacks operate in.  Use
+    :meth:`round_reconstructions` for everything captured in one round.
+    All honest-server scenario knobs (sampling, dropout, stragglers,
+    aggregator) pass through ``**server_kwargs``.
     """
 
     def __init__(
@@ -217,7 +221,7 @@ class DishonestServer(Server):
         super().__init__(model, clients, **server_kwargs)
         self.attack = attack
         self.target_client_id = target_client_id
-        self.reconstructions: dict[int, ReconstructionResult] = {}
+        self.reconstructions: dict[tuple[int, int], ReconstructionResult] = {}
 
     def prepare_broadcast(self) -> ModelBroadcast:
         """Craft the malicious model, then broadcast it as if honest."""
@@ -237,7 +241,7 @@ class DishonestServer(Server):
             if not targeted:
                 continue
             result = self.attack.reconstruct(update.gradients)
-            self.reconstructions[update.round_index] = result
+            self.reconstructions[(update.round_index, update.client_id)] = result
             events.append(
                 {
                     "round": update.round_index,
@@ -247,3 +251,17 @@ class DishonestServer(Server):
                 }
             )
         return events
+
+    def round_reconstructions(
+        self, round_index: int
+    ) -> list[tuple[int, ReconstructionResult]]:
+        """All ``(client_id, result)`` pairs captured in ``round_index``.
+
+        Pairs come back in arrival order (insertion order of the round's
+        inversions), so multi-victim rounds keep every client's result.
+        """
+        return [
+            (client_id, result)
+            for (captured_round, client_id), result in self.reconstructions.items()
+            if captured_round == round_index
+        ]

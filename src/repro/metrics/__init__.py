@@ -9,6 +9,8 @@ from repro.metrics.psnr import (
     best_match_psnr,
     match_reconstructions,
     mse,
+    pairwise_mse,
+    pairwise_psnr,
     per_image_best_psnr,
     psnr,
 )
@@ -16,6 +18,8 @@ from repro.metrics.psnr import (
 __all__ = [
     "psnr",
     "mse",
+    "pairwise_mse",
+    "pairwise_psnr",
     "best_match_psnr",
     "match_reconstructions",
     "average_attack_psnr",

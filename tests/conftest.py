@@ -1,8 +1,10 @@
 """Shared fixtures: small deterministic datasets and generators.
 
-Also installs the ``slow`` marker policy: scale-oriented protocol tests are
-marked ``@pytest.mark.slow`` and skipped by default (tier-1 stays fast);
-select them explicitly with ``-m slow`` (or any ``-m`` expression).
+Also installs the gated-marker policy: scale-oriented protocol tests
+(``@pytest.mark.slow``) and full sweep grids / benchmark-sized runs
+(``@pytest.mark.sweep_scale``) are skipped by default (tier-1 stays fast);
+select them explicitly with ``-m slow`` / ``-m sweep_scale`` (or any ``-m``
+expression).
 """
 
 from __future__ import annotations
@@ -13,20 +15,37 @@ import pytest
 from repro.data import make_synthetic_dataset, synthetic_cifar100, synthetic_imagenet
 
 
+# Markers gated out of the default (tier-1) run; select explicitly with -m.
+GATED_MARKERS = {
+    "slow": "scale-oriented protocol tests, skipped unless selected with -m",
+    "sweep_scale": (
+        "full attack x defense x scenario sweep grids and benchmark-sized "
+        "runs, skipped unless selected with -m"
+    ),
+}
+
+
 def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "slow: scale-oriented protocol tests, skipped unless selected with -m",
-    )
+    for marker, description in GATED_MARKERS.items():
+        config.addinivalue_line("markers", f"{marker}: {description}")
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("-m", default=""):
-        return  # an explicit marker expression overrides the default gate
-    skip_slow = pytest.mark.skip(reason="slow scale test: select with -m slow")
+    expression = config.getoption("-m", default="") or ""
     for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip_slow)
+        gated = GATED_MARKERS.keys() & item.keywords
+        if not gated:
+            continue
+        if any(marker in expression for marker in gated):
+            # The -m expression names this item's gated marker, so the
+            # user is deciding about it explicitly — let pytest's own
+            # selection apply.  Unmentioned gated markers stay skipped:
+            # `-m "not slow"` must not silently unleash sweep_scale grids.
+            continue
+        marker = sorted(gated)[0]
+        item.add_marker(
+            pytest.mark.skip(reason=f"{marker} test: select with -m {marker}")
+        )
 
 
 @pytest.fixture

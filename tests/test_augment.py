@@ -11,6 +11,7 @@ from repro.augment import (
     Identity,
     Rotate,
     Shear,
+    Transform,
     TransformSuite,
     VerticalFlip,
     available_suites,
@@ -194,3 +195,79 @@ class TestSuites:
 
     def test_repr(self):
         assert "MR" in repr(major_rotation())
+
+
+class TestApplyBatch:
+    """The vectorized batch path must equal the per-image scalar path."""
+
+    @pytest.fixture
+    def batch(self, rng):
+        return rng.random((6, 3, 12, 12))
+
+    @pytest.mark.parametrize("suite_name", ["MR", "mR", "SH", "HFlip", "VFlip", "MR+SH"])
+    def test_suite_transforms_match_scalar(self, batch, suite_name):
+        for transform in suite_by_name(suite_name).transforms:
+            batched = transform.apply_batch(batch)
+            scalar = np.stack([transform(image) for image in batch])
+            np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_major_rotations_bit_exact(self, batch):
+        # rot90 is a pure grid permutation; batched and scalar must agree
+        # bit-for-bit, preserving the mean-invariance the defense relies on.
+        for transform in major_rotation().transforms:
+            np.testing.assert_array_equal(
+                transform.apply_batch(batch),
+                np.stack([transform(image) for image in batch]),
+            )
+
+    def test_flips_bit_exact(self, batch):
+        for transform in (HorizontalFlip(), VerticalFlip()):
+            np.testing.assert_array_equal(
+                transform.apply_batch(batch),
+                np.stack([transform(image) for image in batch]),
+            )
+
+    def test_identity_copies(self, batch):
+        out = Identity().apply_batch(batch)
+        np.testing.assert_array_equal(out, batch)
+        assert out is not batch
+
+    def test_compose_chains_batched(self, batch):
+        composed = Compose(Rotate(90), HorizontalFlip())
+        np.testing.assert_allclose(
+            composed.apply_batch(batch),
+            np.stack([composed(image) for image in batch]),
+            atol=1e-9,
+        )
+
+    def test_base_class_falls_back_to_scalar_loop(self, batch):
+        class Negate(Transform):
+            name = "negate"
+
+            def __call__(self, image):
+                return -image
+
+        np.testing.assert_array_equal(Negate().apply_batch(batch), -batch)
+
+    def test_preserves_dtype(self, rng):
+        batch = rng.random((3, 3, 8, 8)).astype(np.float32)
+        for transform in (Rotate(45), Shear(0.55), HorizontalFlip()):
+            assert transform.apply_batch(batch).dtype == np.float32
+
+    def test_mean_preserved_per_image(self, batch):
+        # Sec. IV-B: each transformed image keeps its original's mean, per
+        # image — not just on batch average.
+        for transform in (Rotate(30), Shear(0.9)):
+            out = transform.apply_batch(batch)
+            np.testing.assert_allclose(
+                out.mean(axis=(1, 2, 3)), batch.mean(axis=(1, 2, 3)), atol=1e-12
+            )
+
+    def test_suite_expand_batch_blocks(self, batch):
+        suite = suite_by_name("MR")
+        blocks = suite.expand_batch(batch)
+        assert len(blocks) == 3
+        for block, transform in zip(blocks, suite.transforms):
+            np.testing.assert_array_equal(
+                block, np.stack([transform(image) for image in batch])
+            )

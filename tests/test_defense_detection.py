@@ -88,3 +88,35 @@ class TestDetection:
     def test_weight_without_bias_ignored(self, rng):
         state = {"fc.weight": np.tile(np.ones(10), (32, 1))}
         assert not inspect_state(state).suspicious
+
+    def test_first_row_noising_does_not_evade(self, cifar_like, rng):
+        # Regression: the colinearity check used to compare every row to
+        # rows[0], so a server that noised just the first imprint row
+        # dropped the detected fraction to ~0 while keeping the attack.
+        state = crafted_state(cifar_like, "rtf")
+        weight_name = next(
+            name for name in state
+            if name.endswith(".weight") and state[name].ndim == 2
+            and "imprint" in name
+        )
+        noised = {name: value.copy() for name, value in state.items()}
+        noised[weight_name][0] += rng.standard_normal(
+            noised[weight_name].shape[1]
+        )
+        report = inspect_state(noised)
+        assert report.suspicious
+        assert any("RTF" in finding for finding in report.findings)
+
+    def test_negated_rows_still_counted(self, cifar_like):
+        # Eq. 6 is sign-invariant: a negated imprint row extracts inputs
+        # just as well, so |cosine| must catch sign-flipped copies.
+        state = crafted_state(cifar_like, "rtf")
+        weight_name = next(
+            name for name in state
+            if name.endswith(".weight") and state[name].ndim == 2
+            and "imprint" in name
+        )
+        flipped = {name: value.copy() for name, value in state.items()}
+        flipped[weight_name][::2] *= -1.0
+        report = inspect_state(flipped)
+        assert report.suspicious

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.fl import average_gradients, compute_batch_gradients, per_sample_gradients
+from repro.defense import OasisDefense
+from repro.fl import (
+    average_gradients,
+    compute_batch_gradients,
+    compute_defended_update,
+    per_sample_gradients,
+)
 from repro.nn import CrossEntropyLoss, MLP
 
 
@@ -87,3 +93,45 @@ class TestAverageGradients:
         updates = [{"w": np.array([1.0])}, {"w": np.array([3.0])}]
         average_gradients(updates)
         np.testing.assert_array_equal(updates[0]["w"], [1.0])
+
+    def test_all_zero_weights_rejected(self):
+        # Regression: an all-zero weight total used to divide by zero and
+        # silently fill the aggregate with nan/inf.
+        updates = [{"w": np.array([1.0])}, {"w": np.array([3.0])}]
+        with pytest.raises(ValueError):
+            average_gradients(updates, weights=[0.0, 0.0])
+
+
+class TestDefendedUpdateWeighting:
+    """Regression: OASIS expansion must not inflate the FedAvg weight."""
+
+    def _compute(self, defense, seed=0):
+        rng = np.random.default_rng(seed)
+        model = MLP([48, 6, 3], rng=np.random.default_rng(1))
+        images = rng.random((4, 3, 4, 4))
+        labels = rng.integers(0, 3, 4)
+        return compute_defended_update(
+            model, CrossEntropyLoss(), images, labels, defense,
+            np.random.default_rng(2),
+        )
+
+    def test_defended_reports_original_batch_size(self):
+        from repro.defense import NoDefense
+
+        _, _, defended_count = self._compute(OasisDefense("MR"))
+        _, _, undefended_count = self._compute(NoDefense())
+        assert defended_count == undefended_count == 4
+
+    def test_fedavg_weight_parity(self):
+        # A defended and an undefended client reporting the same batch size
+        # must carry identical weight in an example-weighted FedAvg round.
+        defended_grads, _, defended_count = self._compute(OasisDefense("MR+SH"))
+        from repro.defense import NoDefense
+
+        plain_grads, _, plain_count = self._compute(NoDefense(), seed=3)
+        aggregated = average_gradients(
+            [defended_grads, plain_grads], weights=[defended_count, plain_count]
+        )
+        expected = average_gradients([defended_grads, plain_grads])
+        for name in aggregated:
+            np.testing.assert_allclose(aggregated[name], expected[name])

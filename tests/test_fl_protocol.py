@@ -61,14 +61,17 @@ class TestClient:
         assert np.isfinite(update.loss)
         assert set(update.gradients) == {n for n, _ in model.named_parameters()}
 
-    def test_defense_expands_examples(self, fl_dataset):
+    def test_defense_does_not_inflate_examples(self, fl_dataset):
+        # OASIS expands the training batch 4x, but the uploaded example
+        # count must stay the original batch size: under example-weighted
+        # FedAvg a defended client must not outweigh an undefended one.
         model = make_mlp(fl_dataset)
         client = Client(
             0, fl_dataset, model, CrossEntropyLoss(), batch_size=4,
             defense=OasisDefense("MR"), seed=1,
         )
         update = client.local_update(ModelBroadcast(0, model.state_dict()))
-        assert update.num_examples == 16
+        assert update.num_examples == 4
 
     def test_client_loads_broadcast_state(self, fl_dataset):
         model = make_mlp(fl_dataset)
@@ -151,9 +154,11 @@ class TestDishonestServer:
             factory(), clients, attack=attack, target_client_id=0, seed=0
         )
         server.run_round()
-        assert 0 in server.reconstructions
+        assert (0, 0) in server.reconstructions
         target = clients[0].last_batch[0]
-        per_image = per_image_best_psnr(target, server.reconstructions[0].images)
+        per_image = per_image_best_psnr(
+            target, server.reconstructions[(0, 0)].images
+        )
         assert np.all(per_image > 100.0), "dishonest server failed to reconstruct"
 
     def test_attack_events_recorded(self, fl_dataset):
@@ -172,6 +177,33 @@ class TestDishonestServer:
         assert record.attack_events
         assert record.attack_events[0]["attack"] == "rtf"
 
+    def test_multi_client_reconstructions_all_retained(self, fl_dataset):
+        # Regression: keyed by round alone, a later client's inversion
+        # silently clobbered an earlier one when every client is targeted.
+        num_neurons = 32
+        def factory():
+            return ImprintedModel(fl_dataset.image_shape, num_neurons,
+                                  fl_dataset.num_classes,
+                                  rng=np.random.default_rng(5))
+        clients = [
+            Client(i, fl_dataset, factory(), CrossEntropyLoss(), batch_size=3,
+                   seed=11)
+            for i in range(3)
+        ]
+        attack = RTFAttack(num_neurons)
+        attack.calibrate_from_public_data(fl_dataset.images)
+        server = DishonestServer(
+            factory(), clients, attack=attack, target_client_id=None, seed=0
+        )
+        server.run(2)
+        assert set(server.reconstructions) == {
+            (r, c) for r in range(2) for c in range(3)
+        }
+        for round_index in range(2):
+            captured = server.round_reconstructions(round_index)
+            assert sorted(client_id for client_id, _ in captured) == [0, 1, 2]
+            assert all(len(result) > 0 for _, result in captured)
+
     def test_untargeted_clients_ignored(self, fl_dataset):
         num_neurons = 32
         def factory():
@@ -189,6 +221,7 @@ class TestDishonestServer:
         )
         record = server.run_round()
         assert all(e["client_id"] == 1 for e in record.attack_events)
+        assert set(server.reconstructions) == {(0, 1)}
 
 
 class TestFederatedSimulation:
@@ -221,6 +254,6 @@ class TestFederatedSimulation:
         sim.run(1)
         server = sim.server
         target = server.clients[0].last_batch[0]
-        recon = server.reconstructions[0].images
+        recon = server.reconstructions[(0, 0)].images
         per_image = per_image_best_psnr(target, recon)
         assert np.all(per_image < 60.0), "OASIS failed inside the full protocol"

@@ -59,7 +59,7 @@ class TestRTFEndToEnd:
         sim = run_attack_sim(dataset, self._attack(dataset), defense=None)
         target_batch = sim.server.clients[0].last_batch[0]
         scores = per_image_best_psnr(
-            target_batch, sim.server.reconstructions[0].images
+            target_batch, sim.server.reconstructions[(0, 0)].images
         )
         assert np.all(scores > 100.0)
 
@@ -67,7 +67,7 @@ class TestRTFEndToEnd:
         sim = run_attack_sim(dataset, self._attack(dataset), OasisDefense("MR"))
         target_batch = sim.server.clients[0].last_batch[0]
         scores = per_image_best_psnr(
-            target_batch, sim.server.reconstructions[0].images
+            target_batch, sim.server.reconstructions[(0, 0)].images
         )
         assert np.all(scores < 60.0)
 
@@ -75,7 +75,7 @@ class TestRTFEndToEnd:
         sim = run_attack_sim(
             dataset, self._attack(dataset), OasisDefense("MR"), rounds=3
         )
-        for round_index, result in sim.server.reconstructions.items():
+        for (round_index, _client_id), result in sim.server.reconstructions.items():
             target_batch = sim.server.clients[0].last_batch[0]
             scores = per_image_best_psnr(target_batch, result.images)
             # last_batch is from the final round; earlier rounds' recon may
@@ -97,7 +97,7 @@ class TestRTFEndToEnd:
         )
         target_batch = light.server.clients[0].last_batch[0]
         light_scores = per_image_best_psnr(
-            target_batch, light.server.reconstructions[0].images
+            target_batch, light.server.reconstructions[(0, 0)].images
         )
         heavy = run_attack_sim(
             dataset, self._attack(dataset),
@@ -105,7 +105,7 @@ class TestRTFEndToEnd:
         )
         target_batch = heavy.server.clients[0].last_batch[0]
         heavy_scores = per_image_best_psnr(
-            target_batch, heavy.server.reconstructions[0].images
+            target_batch, heavy.server.reconstructions[(0, 0)].images
         )
         assert np.max(light_scores) > 60.0, "light DP should not stop RTF"
         assert np.max(heavy_scores) < 60.0, "heavy DP should stop RTF"
@@ -118,7 +118,7 @@ class TestCAHEndToEnd:
         undefended = run_attack_sim(dataset, attack, defense=None)
         target = undefended.server.clients[0].last_batch[0]
         undefended_scores = per_image_best_psnr(
-            target, undefended.server.reconstructions[0].images
+            target, undefended.server.reconstructions[(0, 0)].images
         )
 
         attack2 = CAHAttack(NUM_NEURONS, activation_probability=0.05, seed=3)
@@ -126,7 +126,7 @@ class TestCAHEndToEnd:
         defended = run_attack_sim(dataset, attack2, OasisDefense("MR+SH"))
         target = defended.server.clients[0].last_batch[0]
         defended_scores = per_image_best_psnr(
-            target, defended.server.reconstructions[0].images
+            target, defended.server.reconstructions[(0, 0)].images
         )
         assert defended_scores.mean() < undefended_scores.mean()
 

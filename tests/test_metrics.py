@@ -14,6 +14,8 @@ from repro.metrics import (
     image_entropy,
     match_reconstructions,
     mse,
+    pairwise_mse,
+    pairwise_psnr,
     per_image_best_psnr,
     psnr,
     ssim,
@@ -101,6 +103,100 @@ class TestMatching:
         np.testing.assert_array_equal(
             per_image_best_psnr(originals, np.empty((0, 1, 4, 4))), np.zeros(2)
         )
+
+    def test_empty_originals_raises_clearly(self, rng):
+        # Regression: np.argmax over an empty score list used to raise an
+        # opaque "attempt to get argmax of an empty sequence".
+        recon = rng.random((1, 4, 4))
+        with pytest.raises(ValueError, match="empty set of originals"):
+            best_match_psnr(np.empty((0, 1, 4, 4)), recon)
+        with pytest.raises(ValueError, match="empty set of originals"):
+            match_reconstructions(np.empty((0, 1, 4, 4)), recon[None])
+
+    def test_empty_reconstructions_matches_nothing(self, rng):
+        assert match_reconstructions(rng.random((3, 1, 4, 4)), []) == []
+
+
+class TestPairwiseMatrix:
+    """The vectorized hot path must agree with the scalar definitions."""
+
+    def test_matches_scalar_mse(self, rng):
+        originals = rng.random((5, 3, 6, 6))
+        recons = rng.random((4, 3, 6, 6))
+        matrix = pairwise_mse(originals, recons)
+        assert matrix.shape == (4, 5)
+        for r, recon in enumerate(recons):
+            for b, original in enumerate(originals):
+                assert matrix[r, b] == pytest.approx(
+                    mse(original, recon), abs=1e-12
+                )
+
+    def test_matches_scalar_psnr_including_near_perfect(self, rng):
+        # Mix of exact hits (MSE-floor territory), near hits, and misses —
+        # the regimes where a naive quadratic expansion loses precision.
+        originals = rng.random((6, 3, 8, 8))
+        recons = np.concatenate(
+            [originals[[2]], originals[[4]] + 1e-4, rng.random((3, 3, 8, 8))]
+        )
+        matrix = pairwise_psnr(originals, recons)
+        for r, recon in enumerate(recons):
+            for b, original in enumerate(originals):
+                assert matrix[r, b] == pytest.approx(
+                    psnr(original, recon), abs=1e-9
+                )
+        assert matrix[0, 2] == pytest.approx(PSNR_CEILING)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_mse(rng.random((2, 1, 4, 4)), rng.random((2, 1, 5, 5)))
+
+    def test_empty_sets_yield_empty_matrices(self, rng):
+        originals = rng.random((3, 1, 4, 4))
+        assert pairwise_mse(originals, np.empty((0, 1, 4, 4))).shape == (0, 3)
+        assert pairwise_psnr(np.empty((0, 1, 4, 4)), originals).shape == (3, 0)
+
+    def test_average_attack_psnr_empty_originals_raises(self, rng):
+        with pytest.raises(ValueError, match="empty set of originals"):
+            average_attack_psnr(np.empty((0, 1, 4, 4)), rng.random((2, 1, 4, 4)))
+
+
+class TestUniqueAssignment:
+    def test_duplicates_forced_apart(self, rng):
+        originals = rng.random((4, 1, 4, 4))
+        duplicates = np.stack([originals[1] + 1e-3, originals[1] + 2e-3])
+        best = match_reconstructions(originals, duplicates)
+        assert [index for index, _ in best] == [1, 1]
+        unique = match_reconstructions(originals, duplicates, assignment="unique")
+        indices = [index for index, _ in unique]
+        assert len(set(indices)) == 2
+        assert 1 in indices
+
+    def test_identity_permutation_recovered(self, rng):
+        originals = rng.random((5, 1, 4, 4))
+        order = [3, 0, 4, 1, 2]
+        matches = match_reconstructions(
+            originals, originals[order], assignment="unique"
+        )
+        assert [index for index, _ in matches] == order
+        assert all(score == pytest.approx(PSNR_CEILING) for _, score in matches)
+
+    def test_excess_reconstructions_unmatched(self, rng):
+        originals = rng.random((2, 1, 4, 4))
+        recons = rng.random((4, 1, 4, 4))
+        matches = match_reconstructions(originals, recons, assignment="unique")
+        assigned = [index for index, _ in matches if index >= 0]
+        assert len(assigned) == 2
+        assert len(set(assigned)) == 2
+        unmatched = [score for index, score in matches if index < 0]
+        assert len(unmatched) == 2
+        assert all(np.isnan(score) for score in unmatched)
+
+    def test_unknown_assignment_rejected(self, rng):
+        with pytest.raises(ValueError):
+            match_reconstructions(
+                rng.random((2, 1, 4, 4)), rng.random((2, 1, 4, 4)),
+                assignment="banana",
+            )
 
 
 class TestSSIM:

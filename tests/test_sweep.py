@@ -1,0 +1,240 @@
+"""Sweep engine: grid enumeration, cell evaluation, resumable store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_dataset
+from repro.experiments import (
+    DEFAULT_SCENARIOS,
+    ParticipationScenario,
+    SweepCell,
+    SweepRunner,
+    SweepStore,
+    headline_ordering_holds,
+    run_defense_lineup,
+    run_sweep,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset():
+    return make_synthetic_dataset(4, 12, image_size=8, seed=3, name="sweep")
+
+
+def make_runner(dataset, store=None, **overrides):
+    kwargs = dict(
+        attacks=("rtf",),
+        defenses=("WO", "MR"),
+        scenarios=(ParticipationScenario("full", num_clients=2),),
+        batch_size=3,
+        num_neurons=48,
+        public_size=48,
+        seed=0,
+        store=store,
+    )
+    kwargs.update(overrides)
+    return SweepRunner(dataset, **kwargs)
+
+
+class TestScenario:
+    def test_lowers_to_federation_config(self):
+        scenario = ParticipationScenario(
+            "s", num_clients=8, clients_per_round=4, dropout_rate=0.1,
+            partition="dirichlet", dirichlet_alpha=0.2,
+        )
+        config = scenario.to_config(batch_size=6, seed=7)
+        assert config.num_clients == 8
+        assert config.clients_per_round == 4
+        assert config.dropout_rate == 0.1
+        assert config.partition == "dirichlet"
+        assert config.batch_size == 6
+        assert config.seed == 7
+
+    def test_round_trips_through_dict(self):
+        for scenario in DEFAULT_SCENARIOS:
+            assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_duplicate_names_rejected(self, sweep_dataset):
+        with pytest.raises(ValueError):
+            make_runner(
+                sweep_dataset,
+                scenarios=(
+                    ParticipationScenario("dup"),
+                    ParticipationScenario("dup", num_clients=4),
+                ),
+            )
+
+    def test_empty_axis_rejected(self, sweep_dataset):
+        with pytest.raises(ValueError):
+            make_runner(sweep_dataset, attacks=())
+
+    def test_duplicate_axis_entries_rejected(self, sweep_dataset):
+        # A duplicated entry would make one cell land in both `computed`
+        # and `cached` within a single run.
+        with pytest.raises(ValueError, match="duplicate attacks"):
+            make_runner(sweep_dataset, attacks=("rtf", "rtf"))
+        with pytest.raises(ValueError, match="duplicate defenses"):
+            make_runner(sweep_dataset, defenses=("WO", "MR", "WO"))
+
+
+class TestSmokeSweep:
+    """Tier-1-safe: a 2-cell sweep end to end, well under the 5s budget."""
+
+    def test_two_cell_sweep_end_to_end(self, sweep_dataset):
+        outcome = make_runner(sweep_dataset).run()
+        assert len(outcome.results) == 2
+        assert len(outcome.computed) == 2
+        assert outcome.cached == []
+        for result in outcome.results.values():
+            assert result["num_reconstructions"] > 0
+            assert result["num_scored"] > 0
+
+    def test_headline_ordering_no_defense_beats_mr(self, sweep_dataset):
+        # The acceptance shape: (RTF, no defense) PSNR > (RTF, MR).
+        outcome = make_runner(sweep_dataset).run()
+        assert headline_ordering_holds(outcome)
+        assert outcome.mean_psnr("rtf", "WO", "full") > 100.0
+        assert outcome.mean_psnr("rtf", "MR", "full") < 60.0
+
+    def test_cells_enumerate_deterministically(self, sweep_dataset):
+        runner = make_runner(sweep_dataset)
+        assert runner.cells() == [
+            SweepCell("rtf", "WO", "full"),
+            SweepCell("rtf", "MR", "full"),
+        ]
+
+    def test_table_renders(self, sweep_dataset):
+        outcome = make_runner(sweep_dataset).run()
+        table = outcome.to_table()
+        assert "rtf/full" in table
+        assert "WO" in table and "MR" in table
+
+
+class TestStoreResume:
+    def test_resume_skips_finished_cells(self, sweep_dataset, tmp_path):
+        path = tmp_path / "sweep.json"
+        first = make_runner(sweep_dataset, store=path).run()
+        assert len(first.computed) == 2
+
+        resumed_store = SweepStore(path)
+        resumed = make_runner(sweep_dataset, store=resumed_store).run()
+        assert resumed.computed == []
+        assert sorted(resumed.cached) == sorted(first.results)
+        assert resumed.results == first.results
+        assert resumed_store.hits == 2
+
+    def test_partial_resume_computes_only_missing(self, sweep_dataset, tmp_path):
+        path = tmp_path / "sweep.json"
+        first = make_runner(sweep_dataset, store=path).run()
+        # Widen the grid: the old cells come from cache, the new one runs.
+        wider = make_runner(
+            sweep_dataset, store=path, defenses=("WO", "MR", "HFlip")
+        ).run()
+        assert sorted(wider.cached) == sorted(first.results)
+        assert wider.computed == [SweepCell("rtf", "HFlip", "full").key]
+
+    def test_different_config_never_served_from_cache(self, sweep_dataset, tmp_path):
+        # A reused store file must not hand one configuration's PSNRs to
+        # another: the store key fingerprints batch size, neuron count,
+        # seed, dataset, and the scenario's parameters — not just names.
+        path = tmp_path / "sweep.json"
+        make_runner(sweep_dataset, store=path).run()
+        rebatched = make_runner(sweep_dataset, store=path, batch_size=2).run()
+        assert len(rebatched.computed) == 2 and rebatched.cached == []
+        renamed_scenario = make_runner(
+            sweep_dataset, store=path,
+            scenarios=(ParticipationScenario("full", num_clients=4),),
+        ).run()
+        assert len(renamed_scenario.computed) == 2
+        assert renamed_scenario.cached == []
+
+    def test_same_name_different_dataset_not_served(self, sweep_dataset, tmp_path):
+        # The fingerprint covers dataset *content*: a regenerated dataset
+        # under the same name must not inherit the old dataset's cells.
+        path = tmp_path / "sweep.json"
+        make_runner(sweep_dataset, store=path).run()
+        lookalike = make_synthetic_dataset(
+            4, 12, image_size=8, seed=99, name="sweep"
+        )
+        rerun = make_runner(lookalike, store=path).run()
+        assert len(rerun.computed) == 2 and rerun.cached == []
+
+    def test_store_survives_corrupt_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{not json")
+        store = SweepStore(path)
+        assert len(store) == 0
+        store.put("cell", {"mean_psnr": 1.0})
+        assert json.loads(path.read_text())["cells"]["cell"]["mean_psnr"] == 1.0
+
+    def test_memory_store_counts_hits_and_misses(self):
+        store = SweepStore()
+        assert store.get("missing") is None
+        store.put("key", 3.0)
+        assert store.get("key") == 3.0
+        assert store.misses == 1
+        assert store.hits == 1
+
+
+class TestHarnessesShareStore:
+    def test_run_sweep_resumes_from_store(self, sweep_dataset, tmp_path):
+        store = SweepStore(tmp_path / "fig3.json")
+        first = run_sweep(
+            sweep_dataset, "rtf", batch_sizes=(3,), neuron_counts=(32,),
+            num_trials=1, store=store,
+        )
+        assert store.misses == 1
+        again = run_sweep(
+            sweep_dataset, "rtf", batch_sizes=(3,), neuron_counts=(32,),
+            num_trials=1, store=SweepStore(tmp_path / "fig3.json"),
+        )
+        np.testing.assert_array_equal(first.grid, again.grid)
+
+    def test_run_defense_lineup_resumes_from_store(self, sweep_dataset, tmp_path):
+        store = SweepStore(tmp_path / "fig5.json")
+        first = run_defense_lineup(
+            sweep_dataset, "rtf", 3, 32, ("WO", "MR"), num_trials=1,
+            store=store,
+        )
+        resumed_store = SweepStore(tmp_path / "fig5.json")
+        again = run_defense_lineup(
+            sweep_dataset, "rtf", 3, 32, ("WO", "MR"), num_trials=1,
+            store=resumed_store,
+        )
+        assert resumed_store.hits == 2
+        for name in ("WO", "MR"):
+            np.testing.assert_array_equal(
+                first.distributions[name], again.distributions[name]
+            )
+
+
+@pytest.mark.sweep_scale
+class TestFullGrid:
+    """The acceptance-scale grid; gated like other scale tests."""
+
+    def test_acceptance_grid(self, cifar_like, tmp_path):
+        # >= 2 attacks x >= 3 suites x >= 2 participation scenarios.
+        kwargs = dict(
+            attacks=("rtf", "cah"),
+            defenses=("WO", "MR", "SH", "MR+SH"),
+            scenarios=DEFAULT_SCENARIOS[:3],
+            batch_size=4,
+            num_neurons=64,
+            public_size=100,
+            seed=0,
+        )
+        path = tmp_path / "grid.json"
+        outcome = SweepRunner(cifar_like, store=path, **kwargs).run()
+        assert len(outcome.results) == 24
+        assert headline_ordering_holds(outcome)
+        assert headline_ordering_holds(outcome, attack="cah", defended="MR+SH")
+
+        resumed = SweepRunner(cifar_like, store=path, **kwargs).run()
+        assert resumed.computed == []
+        assert resumed.results == outcome.results
