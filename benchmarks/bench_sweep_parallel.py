@@ -1,0 +1,125 @@
+"""Parallel sweep bench: process-pool executor vs serial on an 8-cell grid.
+
+Measures one wall-clock comparison: the 8-cell (2 attacks x 2 suites x 2
+scenarios) grid below run serially, then run through a 4-worker
+:class:`~repro.experiments.ParallelSweepExecutor`.  Two assertions back the
+engine's claims:
+
+1. **Correctness** — the parallel store file is byte-identical to the
+   serial one (per-cell fingerprint seeding makes results independent of
+   executor and worker count).  Always enforced.
+2. **Speedup** — parallel wall-clock must be >= 2x faster than serial.
+   Enforced whenever the host exposes >= 4 usable cores; on smaller hosts
+   (including single-core CI containers, where a process pool cannot beat
+   serial by construction) the measurement is still taken and recorded,
+   with the gate marked unenforced in the JSON.
+
+Results land in ``BENCH_sweep_parallel.json`` next to this file.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_sweep_parallel.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from common import record_report
+from repro.experiments import ParticipationScenario, SweepRunner, make_executor
+from repro.data import synthetic_imagenet
+
+JSON_PATH = Path(__file__).parent / "BENCH_sweep_parallel.json"
+
+WORKERS = 4
+GATE_SPEEDUP = 2.0
+GATE_MIN_CORES = 4
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _bench_runner(store):
+    """8 cells heavy enough (~1s each) that pool overhead is noise."""
+    dataset = synthetic_imagenet(samples_per_class=32, image_size=32, seed=1001)
+    return SweepRunner(
+        dataset,
+        attacks=("rtf", "cah"),
+        defenses=("WO", "MR"),
+        scenarios=(
+            ParticipationScenario("full", num_clients=4),
+            ParticipationScenario("sampled", num_clients=8, clients_per_round=4),
+        ),
+        batch_size=16,
+        num_neurons=256,
+        rounds=2,
+        public_size=128,
+        seed=0,
+        store=store,
+    )
+
+
+def test_parallel_sweep_speedup(tmp_path, benchmark):
+    cores = _usable_cores()
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+
+    start = time.perf_counter()
+    serial = _bench_runner(serial_path).run()
+    serial_s = time.perf_counter() - start
+    assert len(serial.computed) == 8 and not serial.failed
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: _bench_runner(parallel_path).run(make_executor(WORKERS)),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = time.perf_counter() - start
+    assert len(parallel.computed) == 8 and not parallel.failed
+
+    assert serial_path.read_bytes() == parallel_path.read_bytes(), (
+        "parallel store diverged from serial — determinism broken"
+    )
+
+    speedup = serial_s / parallel_s
+    gate_enforced = cores >= GATE_MIN_CORES
+    if gate_enforced:
+        assert speedup >= GATE_SPEEDUP, (
+            f"{WORKERS}-worker sweep only {speedup:.2f}x faster than serial "
+            f"on {cores} cores (gate >= {GATE_SPEEDUP}x)"
+        )
+
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "grid_cells": 8,
+                "workers": WORKERS,
+                "usable_cores": cores,
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "speedup": speedup,
+                "stores_byte_identical": True,
+                "gate": {
+                    "min_speedup": GATE_SPEEDUP,
+                    "min_cores": GATE_MIN_CORES,
+                    "enforced": gate_enforced,
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    record_report(
+        f"Parallel sweep — 8-cell grid, {WORKERS} workers, {cores} cores",
+        f"serial    {serial_s:7.2f} s\n"
+        f"parallel  {parallel_s:7.2f} s"
+        f"   ({speedup:.2f}x, gate >= {GATE_SPEEDUP}x "
+        f"{'enforced' if gate_enforced else f'unenforced: < {GATE_MIN_CORES} cores'})\n"
+        f"stores byte-identical: yes",
+    )

@@ -16,8 +16,13 @@ import numpy as np
 
 from repro.data.synthetic import SyntheticImageDataset
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import average_over_trials
-from repro.experiments.sweep import SweepStore, dataset_fingerprint
+from repro.experiments.runner import evaluate_attack_cell
+from repro.experiments.sweep import (
+    SweepStore,
+    dataset_fingerprint,
+    is_failure,
+    make_executor,
+)
 
 PAPER_BATCH_SIZES = (8, 16, 32, 64, 96, 128, 160, 192, 224, 256)
 PAPER_NEURON_COUNTS = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
@@ -33,11 +38,23 @@ class SweepResult:
     neuron_counts: tuple[int, ...]
     grid: np.ndarray  # shape (len(neuron_counts), len(batch_sizes))
     optima: dict[int, tuple[int, float]] = field(default_factory=dict)
+    # (neuron_count, batch_size) -> structured error for cells that failed;
+    # their grid entries are NaN.  Failures are never cached, so the next
+    # run retries them.
+    errors: dict[tuple[int, int], dict] = field(default_factory=dict)
 
     def compute_optima(self) -> None:
-        """Per batch size, the neuron count with the highest average PSNR."""
+        """Per batch size, the neuron count with the highest average PSNR.
+
+        NaN cells (batch larger than the dataset, or a failed evaluation)
+        never win: columns use ``nanargmax``, and a column with no finite
+        entry gets no optimum at all.
+        """
         for j, batch_size in enumerate(self.batch_sizes):
-            best_i = int(np.argmax(self.grid[:, j]))
+            column = self.grid[:, j]
+            if np.all(np.isnan(column)):
+                continue
+            best_i = int(np.nanargmax(column))
             self.optima[batch_size] = (
                 self.neuron_counts[best_i],
                 float(self.grid[best_i, j]),
@@ -59,17 +76,28 @@ def run_sweep(
     num_trials: int = 2,
     seed: int = 0,
     store: "SweepStore | None" = None,
+    workers: int = 1,
+    executor=None,
 ) -> SweepResult:
     """Reproduce one panel of Fig. 3 (RTF) or Fig. 4 (CAH).
 
     Pass a :class:`~repro.experiments.SweepStore` to make the (n, B) grid
     resumable: each finished cell is persisted under a key derived from the
     full configuration, so re-running after an interruption only computes
-    the missing cells.
+    the missing cells.  ``workers > 1`` (or an explicit ``executor``) fans
+    the pending cells out over a process pool with sharded, crash-safe
+    persistence; each cell's trials are seeded by its configuration, so
+    serial and parallel grids are identical.  A failed cell lands in
+    :attr:`SweepResult.errors` with a NaN grid entry instead of killing
+    the sweep.
     """
     store = store if store is not None else SweepStore()
+    store.recover_shards()
+    executor = executor if executor is not None else make_executor(workers)
     data_key = f"{dataset.name}:{dataset_fingerprint(dataset)}"
     grid = np.zeros((len(neuron_counts), len(batch_sizes)))
+    tasks = []
+    positions: dict[str, tuple[int, int]] = {}
     for i, num_neurons in enumerate(neuron_counts):
         for j, batch_size in enumerate(batch_sizes):
             if batch_size > len(dataset):
@@ -83,21 +111,37 @@ def run_sweep(
             if cached is not None:
                 grid[i, j] = cached
                 continue
-            grid[i, j], _ = average_over_trials(
-                dataset,
-                attack_name,
-                batch_size,
-                num_neurons,
-                num_trials=num_trials,
-                seed=seed,
+            positions[key] = (i, j)
+            tasks.append(
+                (
+                    key,
+                    evaluate_attack_cell,
+                    {
+                        "mode": "average",
+                        "attack": attack_name,
+                        "batch_size": batch_size,
+                        "num_neurons": num_neurons,
+                        "num_trials": num_trials,
+                        "seed": seed,
+                    },
+                )
             )
-            store.put(key, float(grid[i, j]))
+    errors: dict[tuple[int, int], dict] = {}
+    executions = executor.run(tasks, store, shared={"dataset": dataset})
+    for key, execution in executions.items():
+        i, j = positions[key]
+        if is_failure(execution.result):
+            grid[i, j] = np.nan
+            errors[(neuron_counts[i], batch_sizes[j])] = execution.result["error"]
+        else:
+            grid[i, j] = execution.result
     result = SweepResult(
         attack=attack_name,
         dataset=dataset.name,
         batch_sizes=tuple(batch_sizes),
         neuron_counts=tuple(neuron_counts),
         grid=grid,
+        errors=errors,
     )
     result.compute_optima()
     return result

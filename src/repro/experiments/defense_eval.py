@@ -7,16 +7,23 @@ under each OASIS transformation suite against the no-defense baseline (WO).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.data.synthetic import SyntheticImageDataset
-from repro.defense.base import NoDefense
-from repro.defense.oasis import OasisDefense
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_attack_trial, run_linear_trial
-from repro.experiments.sweep import SweepStore, dataset_fingerprint
+from repro.experiments.runner import (
+    defense_from_name,
+    evaluate_attack_cell,
+    run_linear_trial,
+)
+from repro.experiments.sweep import (
+    SweepStore,
+    dataset_fingerprint,
+    is_failure,
+    make_executor,
+)
 
 # The paper's strongest-attack settings (read off Figs. 3-4, Sec. IV-A).
 PAPER_SETTINGS = {
@@ -40,6 +47,10 @@ class DefenseLineupResult:
     batch_size: int
     num_neurons: int
     distributions: dict[str, np.ndarray]
+    # defense name -> structured error for arms that failed; their
+    # distributions are empty.  Failures are never cached, so the next
+    # run retries them.
+    errors: dict[str, dict] = field(default_factory=dict)
 
     def averages(self) -> dict[str, float]:
         return {
@@ -68,12 +79,6 @@ class DefenseLineupResult:
         )
 
 
-def _defense_for(name: str):
-    if name == "WO":
-        return NoDefense()
-    return OasisDefense(name)
-
-
 def run_defense_lineup(
     dataset: SyntheticImageDataset,
     attack_name: str,
@@ -83,16 +88,26 @@ def run_defense_lineup(
     num_trials: int = 2,
     seed: int = 0,
     store: "SweepStore | None" = None,
+    workers: int = 1,
+    executor=None,
 ) -> DefenseLineupResult:
     """One panel of Fig. 5 (RTF) / Fig. 6 (CAH): PSNRs per transformation.
 
     With a :class:`~repro.experiments.SweepStore`, each defense arm's PSNR
     distribution is cached so interrupted lineups resume where they left
-    off.
+    off.  ``workers > 1`` (or an explicit ``executor``) evaluates the
+    pending arms concurrently over a process pool with sharded, crash-safe
+    persistence and identical results to the serial path.  A failed arm
+    lands in :attr:`DefenseLineupResult.errors` with an empty distribution
+    instead of killing the lineup.
     """
     store = store if store is not None else SweepStore()
+    store.recover_shards()
+    executor = executor if executor is not None else make_executor(workers)
     data_key = f"{dataset.name}:{dataset_fingerprint(dataset)}"
     distributions: dict[str, np.ndarray] = {}
+    tasks = []
+    arms: dict[str, str] = {}
     for defense_name in lineup:
         key = (
             f"fig56|{attack_name}|{data_key}|B{batch_size}"
@@ -102,25 +117,42 @@ def run_defense_lineup(
         if cached is not None:
             distributions[defense_name] = np.array(cached)
             continue
-        scores: list[float] = []
-        for trial in range(num_trials):
-            result = run_attack_trial(
-                dataset,
-                attack_name,
-                batch_size,
-                num_neurons,
-                defense=_defense_for(defense_name),
-                seed=seed + 31 * trial,
+        arms[key] = defense_name
+        tasks.append(
+            (
+                key,
+                evaluate_attack_cell,
+                {
+                    "mode": "distribution",
+                    "attack": attack_name,
+                    "batch_size": batch_size,
+                    "num_neurons": num_neurons,
+                    "defense": defense_name,
+                    "num_trials": num_trials,
+                    "seed": seed,
+                },
             )
-            scores.extend(result.psnrs)
-        store.put(key, [float(score) for score in scores])
-        distributions[defense_name] = np.array(scores)
+        )
+    errors: dict[str, dict] = {}
+    executions = executor.run(tasks, store, shared={"dataset": dataset})
+    for key, defense_name in arms.items():
+        execution = executions[key]
+        if is_failure(execution.result):
+            distributions[defense_name] = np.array([])
+            errors[defense_name] = execution.result["error"]
+        else:
+            distributions[defense_name] = np.array(execution.result)
+    # Preserve the lineup's arm order regardless of cache/compute split.
+    distributions = {
+        name: distributions[name] for name in lineup if name in distributions
+    }
     return DefenseLineupResult(
         attack=attack_name,
         dataset=dataset.name,
         batch_size=batch_size,
         num_neurons=num_neurons,
         distributions=distributions,
+        errors=errors,
     )
 
 
@@ -139,7 +171,7 @@ def run_linear_lineup(
             result = run_linear_trial(
                 dataset,
                 batch_size,
-                defense=_defense_for(defense_name),
+                defense=defense_from_name(defense_name),
                 seed=seed + 31 * trial,
             )
             scores.extend(result.psnrs)

@@ -63,6 +63,66 @@ def make_attack(
     return attack
 
 
+def defense_from_name(name: str) -> ClientDefense:
+    """Resolve a defense-arm name: ``"WO"`` (no defense) or an OASIS suite."""
+    if name == "WO":
+        return NoDefense()
+    from repro.defense.oasis import OasisDefense
+
+    return OasisDefense(name)
+
+
+def evaluate_attack_cell(payload: dict):
+    """Picklable process-pool entry: evaluate one attack-configuration cell.
+
+    The sweep executors (:mod:`repro.experiments.sweep`) dispatch tasks as
+    ``(store_key, fn, payload)`` triples to worker processes, so the work
+    function must live at module level.  This one covers both per-figure
+    harness shapes:
+
+    - ``mode="average"`` (Fig. 3/4 grids): mean average-PSNR over
+      ``num_trials`` independent trials — returns a float, the exact value
+      :func:`average_over_trials` reports, so stores written by serial PR-2
+      sweeps keep serving.
+    - ``mode="distribution"`` (Fig. 5/6 lineups): the concatenated PSNR
+      list across trials for one defense arm — returns ``list[float]``.
+
+    The dataset may ride in the payload (``payload["dataset"]``) or, for
+    pool runs, be shipped once per worker through the executor's shared
+    object (``shared={"dataset": ...}``) instead of once per task.
+    """
+    mode = payload.get("mode", "average")
+    dataset = payload.get("dataset")
+    if dataset is None:
+        from repro.experiments.sweep import worker_shared
+
+        dataset = worker_shared()["dataset"]
+    if mode == "average":
+        overall, _ = average_over_trials(
+            dataset,
+            payload["attack"],
+            payload["batch_size"],
+            payload["num_neurons"],
+            num_trials=payload["num_trials"],
+            seed=payload["seed"],
+        )
+        return float(overall)
+    if mode == "distribution":
+        scores: list[float] = []
+        for trial in range(payload["num_trials"]):
+            result = run_attack_trial(
+                dataset,
+                payload["attack"],
+                payload["batch_size"],
+                payload["num_neurons"],
+                defense=defense_from_name(payload["defense"]),
+                seed=payload["seed"] + 31 * trial,
+            )
+            scores.extend(result.psnrs)
+        return [float(score) for score in scores]
+    raise ValueError(f"unknown evaluation mode {mode!r}")
+
+
 def run_attack_trial(
     dataset: SyntheticImageDataset,
     attack_name: str,

@@ -14,33 +14,73 @@ module provides that engine:
   arriving update is inverted — the multi-victim regime), and scores all
   reconstructions with the vectorized pairwise-PSNR matcher.
 - :class:`SweepStore` is a resumable JSON result store: each finished cell
-  is persisted immediately, so an interrupted sweep resumes without
-  recomputing completed cells.  The per-figure harnesses
+  is persisted immediately via an atomic temp-file + ``os.replace`` write,
+  so an interrupted sweep resumes without recomputing completed cells and
+  never leaves a half-written file.  The per-figure harnesses
   (``attack_sweep``, ``defense_eval``) share the same store for their own
   grids.
+- :class:`SerialSweepExecutor` / :class:`ParallelSweepExecutor` decide *how*
+  the pending cells run: in-process, or fanned out over a
+  ``multiprocessing`` pool where each worker persists finished cells to a
+  per-worker **shard** store (``<store>.shards/shard-<pid>.json``) that is
+  merged into the main store on completion.  A run killed mid-sweep leaves
+  its shards behind; the next run (serial or parallel) recovers them via
+  :meth:`SweepStore.recover_shards` before computing anything.
+
+Determinism is the load-bearing property: every cell's randomness derives
+from :func:`repro.utils.rng.derive_seed` keyed by the cell's configuration
+fingerprint (:meth:`SweepRunner.store_key`) — never by execution order — so
+serial runs, parallel runs with any worker count, and resumed runs all
+produce the identical ``store_key -> result`` mapping, and their persisted
+stores are byte-identical.
+
+A failed cell never kills the sweep: the failure is captured as a
+structured ``{"error": {type, message, traceback}}`` result, reported in
+:attr:`SweepOutcome.failed`, and deliberately *not* persisted, so the next
+run retries it.
 
 The expected headline shape (paper Fig. 5): for each scenario, the
 (attack, no-defense) cell's mean PSNR strictly exceeds the (attack, MR)
 cell's — reproduced by :func:`headline_ordering_holds`.
+
+Run a sweep from the command line::
+
+    PYTHONPATH=src python -m repro.experiments.sweep \
+        --grid smoke --workers 4 --store sweep.json
+    # interrupted? finish the remaining cells:
+    PYTHONPATH=src python -m repro.experiments.sweep \
+        --grid smoke --workers 4 --store sweep.json --resume
 """
 
 from __future__ import annotations
 
+import argparse
+import concurrent.futures
 import hashlib
 import json
+import multiprocessing
+import os
+import sys
 import time
+import traceback
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.data.synthetic import SyntheticImageDataset
+from repro.data.synthetic import (
+    SyntheticImageDataset,
+    make_synthetic_dataset,
+    synthetic_cifar100,
+)
 from repro.defense.oasis import OasisDefense
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import make_attack
 from repro.fl.simulator import FederatedSimulation, FederationConfig
 from repro.metrics.psnr import match_reconstructions
+from repro.utils.checkpoint import atomic_write_text
+from repro.utils.rng import derive_seed
 
 
 def dataset_fingerprint(dataset: SyntheticImageDataset) -> str:
@@ -123,14 +163,23 @@ class SweepCell:
         return f"{self.attack}|{self.defense}|{self.scenario}"
 
 
+class SweepStoreError(RuntimeError):
+    """A sweep store file exists but cannot be trusted (corrupt/foreign)."""
+
+
 class SweepStore:
     """Resumable JSON store of finished cells.
 
-    Every :meth:`put` rewrites the backing file, so a killed sweep loses at
-    most the cell in flight; re-running with the same store skips every
-    key already present (tracked by the ``hits``/``misses`` counters the
-    tests assert on).  With ``path=None`` the store is memory-only — same
-    interface, no persistence.
+    Every :meth:`put` rewrites the backing file through an atomic temp-file
+    + ``os.replace`` write, so a killed sweep loses at most the cell in
+    flight and a reader never observes a truncated file; re-running with
+    the same store skips every key already present (tracked by the
+    ``hits``/``misses`` counters the tests assert on).  A store file that
+    exists but does not parse as the expected JSON shape raises
+    :class:`SweepStoreError` instead of being silently treated as empty —
+    silently recomputing a large grid is worse than asking the operator to
+    delete a corrupt file.  With ``path=None`` the store is memory-only —
+    same interface, no persistence.
     """
 
     def __init__(self, path: "str | Path | None" = None) -> None:
@@ -139,13 +188,34 @@ class SweepStore:
         self.misses = 0
         self._cells: dict[str, dict] = {}
         if self.path is not None and self.path.exists():
-            try:
-                payload = json.loads(self.path.read_text())
-            except (ValueError, OSError):
-                payload = {}
-            cells = payload.get("cells", {})
-            if isinstance(cells, dict):
-                self._cells = cells
+            self._cells = self._load(self.path)
+
+    @staticmethod
+    def _load(path: Path) -> dict:
+        """Parse a store file, raising :class:`SweepStoreError` on damage."""
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise SweepStoreError(
+                f"sweep store {path} exists but cannot be read: {error}"
+            ) from error
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise SweepStoreError(
+                f"sweep store {path} is corrupt (not valid JSON: {error}); "
+                "it was likely truncated by a non-atomic writer or a full "
+                "disk — delete the file to start the sweep from scratch"
+            ) from error
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("cells"), dict
+        ):
+            raise SweepStoreError(
+                f"sweep store {path} parsed as JSON but lacks the expected "
+                '{"cells": {...}} shape; refusing to overwrite a file this '
+                "module did not write — delete or move it first"
+            )
+        return payload["cells"]
 
     def __contains__(self, key: str) -> bool:
         return key in self._cells
@@ -164,41 +234,354 @@ class SweepStore:
     def put(self, key: str, value) -> None:
         """Record ``key`` and persist immediately (resume safety)."""
         self._cells[key] = value
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-            tmp.write_text(
-                json.dumps({"cells": self._cells}, indent=2, sort_keys=True)
-                + "\n"
-            )
-            tmp.replace(self.path)
+        self._persist()
+
+    def update(self, mapping: dict) -> None:
+        """Record many cells with a single persisted write."""
+        if not mapping:
+            return
+        self._cells.update(mapping)
+        self._persist()
 
     def keys(self) -> list[str]:
         """All cached cell keys, insertion-ordered."""
         return list(self._cells)
+
+    def _persist(self) -> None:
+        if self.path is None:
+            return
+        atomic_write_text(
+            self.path,
+            json.dumps({"cells": self._cells}, indent=2, sort_keys=True) + "\n",
+        )
+
+    # -- shard support (parallel execution / crash recovery) ---------------
+
+    @staticmethod
+    def shard_directory_for(path: "str | Path") -> Path:
+        """The shard directory belonging to a store at ``path``."""
+        path = Path(path)
+        return path.with_name(path.name + ".shards")
+
+    def shard_directory(self) -> Optional[Path]:
+        """Where parallel workers persist this store's in-flight shards."""
+        if self.path is None:
+            return None
+        return self.shard_directory_for(self.path)
+
+    def recover_shards(self) -> int:
+        """Absorb shards left behind by a killed parallel run.
+
+        Each shard is itself a complete, atomically-written store file, so
+        every cell found in one is a finished result; they are merged into
+        this store (existing keys win — they are the same results) and the
+        shard files are removed.  Returns the number of recovered cells.
+        Memory-only stores have no shards and recover nothing.
+        """
+        directory = self.shard_directory()
+        if directory is None or not directory.is_dir():
+            return 0
+        recovered: dict[str, dict] = {}
+        for shard in sorted(directory.glob("shard-*.json")):
+            for key, value in self._load(shard).items():
+                if key not in self._cells:
+                    recovered[key] = value
+        self.update(recovered)
+        for shard in directory.glob("shard-*.json"):
+            shard.unlink()
+        try:
+            directory.rmdir()
+        except OSError:
+            pass  # unrelated files present; leave the directory
+        return len(recovered)
+
+
+# --------------------------------------------------------------------------
+# Execution engine: serial and process-pool executors over pending cells.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellExecution:
+    """What one executed task produced: its result and wall-clock cost."""
+
+    result: object
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One progress notification: a task finished (or was served cached).
+
+    ``completed``/``total`` count within the emitting stage — the cache
+    scan for ``"cached"`` events, the executor's task list otherwise.
+    """
+
+    key: str
+    status: str  # "cached" | "done" | "failed"
+    elapsed_s: float
+    completed: int
+    total: int
+    error: Optional[dict] = None
+
+
+ProgressCallback = Callable[[CellEvent], None]
+
+
+def is_failure(result) -> bool:
+    """True when ``result`` is a structured task failure, not a value."""
+    return isinstance(result, dict) and "error" in result
+
+
+def _structured_error(error: BaseException) -> dict:
+    """A JSON-able record of a task failure (kept out of the store)."""
+    return {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exc(),
+        }
+    }
+
+
+def _guarded(fn, payload) -> tuple[object, float]:
+    """Run one task, converting any exception into a structured failure."""
+    start = time.perf_counter()
+    try:
+        result = fn(payload)
+    except Exception as error:  # noqa: BLE001 - one cell must not kill the sweep
+        result = _structured_error(error)
+    return result, time.perf_counter() - start
+
+
+def _notify(
+    progress: Optional[ProgressCallback],
+    key: str,
+    result,
+    elapsed_s: float,
+    completed: int,
+    total: int,
+) -> None:
+    if progress is None:
+        return
+    failed = is_failure(result)
+    progress(
+        CellEvent(
+            key=key,
+            status="failed" if failed else "done",
+            elapsed_s=elapsed_s,
+            completed=completed,
+            total=total,
+            error=result["error"] if failed else None,
+        )
+    )
+
+
+# Per-worker state, installed by the pool initializer (or directly by the
+# serial executor).  Module-level because multiprocessing workers can only
+# reach module-level state: the shard store this worker persists to, and
+# the run-wide shared object (e.g. the dataset/runner spec) shipped once
+# per worker instead of once per task.
+_WORKER_SHARD: Optional[SweepStore] = None
+_WORKER_SHARED: object = None
+
+
+def worker_shared():
+    """The run-wide shared object passed to ``executor.run(..., shared=)``.
+
+    Task functions call this to reach heavyweight run-constant state (a
+    dataset, a runner spec) without it riding inside every task payload.
+    """
+    return _WORKER_SHARED
+
+
+def _initialize_worker(shard_dir: Optional[str], shared) -> None:
+    global _WORKER_SHARD, _WORKER_SHARED
+    if shard_dir is not None:
+        _WORKER_SHARD = SweepStore(Path(shard_dir) / f"shard-{os.getpid()}.json")
+    _WORKER_SHARED = shared
+
+
+class SerialSweepExecutor:
+    """Run tasks one after another in-process, persisting as each finishes.
+
+    The reference executor: zero parallelism overhead, finest-grained
+    resume (the store is updated after every single cell).
+    """
+
+    def run(
+        self,
+        tasks: Sequence[tuple],
+        store: SweepStore,
+        progress: Optional[ProgressCallback] = None,
+        shared=None,
+    ) -> dict[str, CellExecution]:
+        global _WORKER_SHARED
+        previous = _WORKER_SHARED
+        _WORKER_SHARED = shared
+        try:
+            executions: dict[str, CellExecution] = {}
+            for index, (key, fn, payload) in enumerate(tasks):
+                result, elapsed = _guarded(fn, payload)
+                if not is_failure(result):
+                    store.put(key, result)
+                executions[key] = CellExecution(result, elapsed)
+                _notify(progress, key, result, elapsed, index + 1, len(tasks))
+            return executions
+        finally:
+            _WORKER_SHARED = previous
+            # Don't retain the last sweep's dataset/runner in a long-lived
+            # process; pool workers die with theirs, the serial path must
+            # drop its own.
+            _RUNNER_CACHE.clear()
+
+
+def _execute_task(task: tuple) -> tuple[str, object, float]:
+    """Pool entry: run one task, persist success to this worker's shard."""
+    key, fn, payload = task
+    result, elapsed = _guarded(fn, payload)
+    if _WORKER_SHARD is not None and not is_failure(result):
+        _WORKER_SHARD.put(key, result)
+    return key, result, elapsed
+
+
+class ParallelSweepExecutor:
+    """Fan tasks out over a process pool with sharded persistence.
+
+    Each worker process appends finished cells to its own shard store
+    (atomic writes, like the main store), so no two processes ever write
+    the same file.  On normal completion the parent merges all results
+    into the main store with one atomic write and removes the shards; if
+    the run is killed first, the shards survive and the next run's
+    :meth:`SweepStore.recover_shards` absorbs them.  A memory-only store
+    skips shards entirely — there is no store file to resume against, so
+    results travel back over IPC alone.  Because every cell's randomness
+    is keyed by its configuration fingerprint (not execution order), the
+    merged store is byte-identical to a serial run's.
+
+    Task exceptions become structured failure results; a worker that dies
+    *without* raising (OOM-kill, segfault) surfaces as
+    :class:`concurrent.futures.process.BrokenProcessPool` from :meth:`run`
+    rather than a silent hang, and the dead run's shards remain for the
+    next run to recover.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; capped at the number of pending tasks.
+    start_method:
+        ``multiprocessing`` start method; default is ``fork`` on Linux
+        (cheap, inherits loaded numpy) and the platform default elsewhere
+        (forking after BLAS/framework init is unsafe on macOS).
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = start_method
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        if sys.platform == "linux":
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def run(
+        self,
+        tasks: Sequence[tuple],
+        store: SweepStore,
+        progress: Optional[ProgressCallback] = None,
+        shared=None,
+    ) -> dict[str, CellExecution]:
+        if not tasks:
+            return {}
+        shard_dir = store.shard_directory()
+        if shard_dir is not None:
+            shard_dir.mkdir(parents=True, exist_ok=True)
+        executions: dict[str, CellExecution] = {}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks)),
+            mp_context=self._context(),
+            initializer=_initialize_worker,
+            initargs=(str(shard_dir) if shard_dir is not None else None, shared),
+        ) as pool:
+            futures = [pool.submit(_execute_task, task) for task in tasks]
+            for future in concurrent.futures.as_completed(futures):
+                key, result, elapsed = future.result()
+                executions[key] = CellExecution(result, elapsed)
+                _notify(
+                    progress, key, result, elapsed,
+                    len(executions), len(tasks),
+                )
+        store.update(
+            {
+                key: execution.result
+                for key, execution in executions.items()
+                if not is_failure(execution.result)
+            }
+        )
+        # Absorb-and-remove every shard through the store's own recovery
+        # path: our workers' shards hold keys just merged (skipped), while
+        # shards a *previous* killed run left behind are merged too —
+        # never deleted unmerged.
+        store.recover_shards()
+        return executions
+
+
+def make_executor(
+    workers: int = 1, start_method: Optional[str] = None
+):
+    """Serial executor for ``workers <= 1``, process-pool otherwise."""
+    if workers <= 1:
+        return SerialSweepExecutor()
+    return ParallelSweepExecutor(workers, start_method=start_method)
 
 
 @dataclass
 class SweepOutcome:
     """Everything one :meth:`SweepRunner.run` call produced.
 
-    ``results`` maps cell keys to per-cell metric dicts; ``computed`` and
-    ``cached`` split the grid into cells evaluated this run vs served from
-    the store.
+    ``results`` maps cell keys to per-cell metric dicts; ``computed``,
+    ``cached``, and ``failed`` split the grid into cells evaluated this
+    run, served from the store, and recorded as structured errors.
+    ``timings`` holds per-cell wall-clock seconds for cells executed this
+    run (cached cells cost nothing and have no entry).
     """
 
     results: dict[str, dict] = field(default_factory=dict)
     computed: list[str] = field(default_factory=list)
     cached: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
 
     def mean_psnr(self, attack: str, defense: str, scenario: str) -> float:
-        """The headline metric of one cell."""
-        return float(
-            self.results[SweepCell(attack, defense, scenario).key]["mean_psnr"]
-        )
+        """The headline metric of one cell.
+
+        Raises :class:`KeyError` for a cell the outcome does not contain
+        and :class:`ValueError` for a cell that failed — both name the
+        cell, so a typo'd lookup never reads like a real number.
+        """
+        key = SweepCell(attack, defense, scenario).key
+        if key not in self.results:
+            raise KeyError(
+                f"no result for cell {key!r}; present: {sorted(self.results)}"
+            )
+        result = self.results[key]
+        if is_failure(result):
+            raise ValueError(
+                f"cell {key!r} failed ({result['error']['type']}: "
+                f"{result['error']['message']}); it has no mean_psnr"
+            )
+        return float(result["mean_psnr"])
 
     def to_table(self) -> str:
-        """Render the grid: one row per (attack, scenario), suites as columns."""
+        """Render the grid: one row per (attack, scenario), suites as columns.
+
+        Failed cells render as ``ERR`` so a partially-broken sweep is
+        visible at a glance instead of hiding behind a dash.
+        """
         defenses: list[str] = []
         for result in self.results.values():
             if result["defense"] not in defenses:
@@ -213,9 +596,36 @@ class SweepOutcome:
             row = [f"{attack}/{scenario}"]
             for defense in defenses:
                 cell = self.results.get(SweepCell(attack, defense, scenario).key)
-                row.append("-" if cell is None else f"{cell['mean_psnr']:.1f}")
+                if cell is None:
+                    row.append("-")
+                elif is_failure(cell):
+                    row.append("ERR")
+                else:
+                    row.append(f"{cell['mean_psnr']:.1f}")
             rows.append(row)
         return format_table(["attack/scenario"] + list(defenses), rows)
+
+
+# Single-slot cache of the runner rebuilt from the shared spec, so one
+# worker serving many cells of the same sweep pays the rebuild (and the
+# dataset fingerprint hash) once.  Keyed by spec *identity* — the cached
+# tuple keeps the spec alive, so an `is` hit can never alias a new spec.
+_RUNNER_CACHE: list = []
+
+
+def _sweep_cell_task(cell: SweepCell) -> dict:
+    """Picklable pool entry: run one cell of the shared runner spec.
+
+    The spec (including the dataset) arrives through :func:`worker_shared`
+    — shipped once per worker by the executor, not once per task.
+    """
+    spec = worker_shared()["spec"]
+    if _RUNNER_CACHE and _RUNNER_CACHE[0][0] is spec:
+        runner = _RUNNER_CACHE[0][1]
+    else:
+        runner = SweepRunner(**spec)
+        _RUNNER_CACHE[:] = [(spec, runner)]
+    return runner.run_cell(cell)
 
 
 class SweepRunner:
@@ -228,6 +638,11 @@ class SweepRunner:
     :class:`SweepStore` keyed by the cell coordinates plus a fingerprint
     of the full configuration (see :meth:`store_key`), making long sweeps
     resumable without ever serving results from a different setup.
+
+    :meth:`run` decomposes into three stages any caller can drive
+    separately: :meth:`cells` (enumerate the grid), :meth:`execute` (run
+    pending cells through an executor — serial or process-pool), and
+    :meth:`collect` (assemble a :class:`SweepOutcome` in grid order).
 
     Parameters
     ----------
@@ -279,6 +694,25 @@ class SweepRunner:
         else:
             self.store = SweepStore(store)
 
+    def spec(self) -> dict:
+        """Constructor arguments (minus the store) for worker-side rebuilds.
+
+        Everything here pickles: the dataset is plain arrays, scenarios are
+        frozen dataclasses.  Workers get a memory-only store — persistence
+        is the executor's job, through shards.
+        """
+        return {
+            "dataset": self.dataset,
+            "attacks": self.attacks,
+            "defenses": self.defenses,
+            "scenarios": tuple(self.scenarios.values()),
+            "batch_size": self.batch_size,
+            "num_neurons": self.num_neurons,
+            "rounds": self.rounds,
+            "public_size": self.public_size,
+            "seed": self.seed,
+        }
+
     def cells(self) -> list[SweepCell]:
         """The grid in deterministic attack-major order."""
         return [
@@ -297,6 +731,10 @@ class SweepRunner:
         and the scenario's *parameters* (a name alone would let a
         renamed-but-different scenario, or a regenerated dataset under the
         same name, silently serve stale numbers from a reused store file).
+        The ``seeding`` marker versions the RNG-derivation scheme itself:
+        cells computed under an older scheme (e.g. pre-fingerprint-keyed
+        stores) miss and recompute rather than mixing two seed regimes in
+        one grid.
         """
         scenario = self.scenarios[cell.scenario]
         fingerprint = hashlib.sha256(
@@ -308,6 +746,7 @@ class SweepRunner:
                     "rounds": self.rounds,
                     "public_size": self.public_size,
                     "seed": self.seed,
+                    "seeding": "cell-fingerprint-v1",
                     "scenario": scenario_to_dict(scenario),
                 },
                 sort_keys=True,
@@ -315,12 +754,22 @@ class SweepRunner:
         ).hexdigest()[:12]
         return f"{cell.key}|{fingerprint}"
 
-    def _model_factory(self):
+    def cell_seed(self, cell: SweepCell) -> int:
+        """Deterministic seed for one cell, keyed by its fingerprint.
+
+        Derived from the base seed and :meth:`store_key` — never from
+        enumeration position or worker assignment — so a cell draws the
+        same random streams no matter which executor runs it, in what
+        order, or on how many workers.  This is what makes serial and
+        parallel stores byte-identical and resume safe across executors.
+        """
+        return derive_seed(self.seed, self.store_key(cell))
+
+    def _model_factory(self, seed: int):
         from repro.attacks.imprint import ImprintedModel
 
         dataset = self.dataset
         num_neurons = self.num_neurons
-        seed = self.seed
 
         def factory():
             return ImprintedModel(
@@ -335,18 +784,18 @@ class SweepRunner:
     def run_cell(self, cell: SweepCell) -> dict:
         """Evaluate one cell through the full dishonest-server protocol."""
         scenario = self.scenarios[cell.scenario]
+        seed = self.cell_seed(cell)
         attack = make_attack(
             cell.attack,
             self.num_neurons,
             self.dataset.images[: self.public_size],
-            seed=self.seed,
+            seed=seed,
         )
         defense = None if cell.defense == "WO" else OasisDefense(cell.defense)
-        start = time.perf_counter()
         simulation = FederatedSimulation(
             self.dataset,
-            self._model_factory(),
-            scenario.to_config(self.batch_size, self.seed),
+            self._model_factory(seed),
+            scenario.to_config(self.batch_size, seed),
             defense=defense,
             attack=attack,
             target_client_id=None,
@@ -379,24 +828,92 @@ class SweepRunner:
             "num_reconstructions": num_reconstructions,
             "num_scored": len(psnrs),
             "rounds": self.rounds,
-            "elapsed_s": time.perf_counter() - start,
         }
 
-    def run(self) -> SweepOutcome:
-        """Evaluate the whole grid, serving finished cells from the store."""
+    def execute(
+        self,
+        cells: Sequence[SweepCell],
+        executor=None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> dict[str, CellExecution]:
+        """Run ``cells`` through ``executor`` (serial when None).
+
+        Successful results are persisted to the store by the executor;
+        failures are returned but never persisted, so they retry on the
+        next run.  Returns ``store_key -> CellExecution``.
+        """
+        executor = executor if executor is not None else SerialSweepExecutor()
+        tasks = [
+            (self.store_key(cell), _sweep_cell_task, cell) for cell in cells
+        ]
+        return executor.run(
+            tasks, self.store, progress, shared={"spec": self.spec()}
+        )
+
+    def collect(
+        self,
+        cells: Sequence[SweepCell],
+        executions: dict[str, CellExecution],
+        cached: Optional[dict[str, dict]] = None,
+    ) -> SweepOutcome:
+        """Assemble the outcome in grid order from executed + cached cells."""
+        cached = cached or {}
         outcome = SweepOutcome()
-        for cell in self.cells():
-            store_key = self.store_key(cell)
-            cached = self.store.get(store_key)
-            if cached is not None:
-                outcome.results[cell.key] = cached
+        for cell in cells:
+            if cell.key in cached:
+                outcome.results[cell.key] = cached[cell.key]
                 outcome.cached.append(cell.key)
                 continue
-            result = self.run_cell(cell)
-            self.store.put(store_key, result)
+            execution = executions[self.store_key(cell)]
+            result = execution.result
+            if is_failure(result):
+                result = {
+                    "attack": cell.attack,
+                    "defense": cell.defense,
+                    "scenario": cell.scenario,
+                    **result,
+                }
+                outcome.failed.append(cell.key)
+            else:
+                outcome.computed.append(cell.key)
             outcome.results[cell.key] = result
-            outcome.computed.append(cell.key)
+            outcome.timings[cell.key] = execution.elapsed_s
         return outcome
+
+    def run(
+        self,
+        executor=None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> SweepOutcome:
+        """Evaluate the whole grid, serving finished cells from the store.
+
+        Recovers any shards a killed parallel run left behind, scans the
+        store for finished cells, fans the rest out through ``executor``
+        (serial in-process when None), and collects everything in grid
+        order.
+        """
+        self.store.recover_shards()
+        grid = self.cells()
+        cached_results: dict[str, dict] = {}
+        pending: list[SweepCell] = []
+        for cell in grid:
+            cached = self.store.get(self.store_key(cell))
+            if cached is not None:
+                cached_results[cell.key] = cached
+                if progress is not None:
+                    progress(
+                        CellEvent(
+                            key=self.store_key(cell),
+                            status="cached",
+                            elapsed_s=0.0,
+                            completed=len(cached_results),
+                            total=len(grid),
+                        )
+                    )
+            else:
+                pending.append(cell)
+        executions = self.execute(pending, executor, progress)
+        return self.collect(grid, executions, cached_results)
 
 
 def headline_ordering_holds(
@@ -408,24 +925,26 @@ def headline_ordering_holds(
     """Paper Fig. 5 shape: no-defense PSNR beats the defended cell everywhere.
 
     Checks every scenario present for ``attack``; vacuously False when the
-    outcome contains no such pair.
+    outcome contains no such pair.  Failed cells carry no PSNR and are
+    skipped, like absent cells.
     """
     scenarios = {
         result["scenario"]
         for result in outcome.results.values()
-        if result["attack"] == attack
+        if not is_failure(result) and result["attack"] == attack
     }
     checked = False
     for scenario in scenarios:
-        baseline_key = SweepCell(attack, undefended, scenario).key
-        defended_key = SweepCell(attack, defended, scenario).key
-        if baseline_key not in outcome.results or defended_key not in outcome.results:
+        baseline = outcome.results.get(SweepCell(attack, undefended, scenario).key)
+        defended_cell = outcome.results.get(
+            SweepCell(attack, defended, scenario).key
+        )
+        if baseline is None or defended_cell is None:
+            continue
+        if is_failure(baseline) or is_failure(defended_cell):
             continue
         checked = True
-        if (
-            outcome.results[baseline_key]["mean_psnr"]
-            <= outcome.results[defended_key]["mean_psnr"]
-        ):
+        if baseline["mean_psnr"] <= defended_cell["mean_psnr"]:
             return False
     return checked
 
@@ -439,3 +958,162 @@ def scenario_to_dict(scenario: ParticipationScenario) -> dict:
     """JSON-serializable form of a scenario (inverse of
     :func:`scenario_from_dict`)."""
     return asdict(scenario)
+
+
+# --------------------------------------------------------------------------
+# CLI: python -m repro.experiments.sweep --grid smoke --workers 4 --resume
+# --------------------------------------------------------------------------
+
+
+def _smoke_runner(seed: int, rounds: int, store) -> SweepRunner:
+    """2-cell sanity grid: rtf x (WO, MR) x full participation, seconds."""
+    dataset = make_synthetic_dataset(
+        4, 12, image_size=8, seed=3, name="smoke-grid"
+    )
+    return SweepRunner(
+        dataset,
+        attacks=("rtf",),
+        defenses=("WO", "MR"),
+        scenarios=(ParticipationScenario("full", num_clients=2),),
+        batch_size=3,
+        num_neurons=48,
+        public_size=48,
+        rounds=rounds,
+        seed=seed,
+        store=store,
+    )
+
+
+def _default_runner(seed: int, rounds: int, store) -> SweepRunner:
+    """8-cell working grid: rtf x 4 suites x 2 participation shapes."""
+    dataset = make_synthetic_dataset(
+        6, 16, image_size=16, seed=5, name="default-grid"
+    )
+    return SweepRunner(
+        dataset,
+        attacks=("rtf",),
+        defenses=("WO", "MR", "SH", "MR+SH"),
+        scenarios=DEFAULT_SCENARIOS[:2],
+        batch_size=4,
+        num_neurons=64,
+        public_size=64,
+        rounds=rounds,
+        seed=seed,
+        store=store,
+    )
+
+
+def _acceptance_runner(seed: int, rounds: int, store) -> SweepRunner:
+    """The 24-cell acceptance grid on the CIFAR100 stand-in (minutes)."""
+    return SweepRunner(
+        synthetic_cifar100(samples_per_class=2, seed=2002),
+        attacks=("rtf", "cah"),
+        defenses=("WO", "MR", "SH", "MR+SH"),
+        scenarios=DEFAULT_SCENARIOS[:3],
+        batch_size=4,
+        num_neurons=64,
+        public_size=100,
+        rounds=rounds,
+        seed=seed,
+        store=store,
+    )
+
+
+GRID_PRESETS: dict[str, Callable[..., SweepRunner]] = {
+    "smoke": _smoke_runner,
+    "default": _default_runner,
+    "acceptance": _acceptance_runner,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry: run a preset grid with ``--workers``/``--resume``/``--grid``.
+
+    Refuses to reuse an existing store without ``--resume`` (stale results
+    must be opted into), prints per-cell progress and the final grid
+    table, and exits non-zero when any cell failed.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep",
+        description=(
+            "Run an attack x defense x scenario sweep grid, optionally "
+            "fanned out over worker processes, with a resumable store."
+        ),
+    )
+    parser.add_argument(
+        "--grid",
+        choices=sorted(GRID_PRESETS),
+        default="smoke",
+        help="which preset grid to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 runs serially in-process (default: 1)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="result store path (default: sweep_<grid>.json)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse an existing store file, computing only missing cells; "
+            "without this flag an existing store is an error, so stale "
+            "results are never mixed in silently"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--rounds", type=int, default=1, help="federation rounds per cell"
+    )
+    args = parser.parse_args(argv)
+
+    store_path = args.store or Path(f"sweep_{args.grid}.json")
+    shard_dir = SweepStore.shard_directory_for(store_path)
+    if (store_path.exists() or shard_dir.is_dir()) and not args.resume:
+        existing = store_path if store_path.exists() else shard_dir
+        parser.error(
+            f"{existing} already exists (a finished store or shards from a "
+            "killed parallel run); pass --resume to finish that sweep with "
+            "it, or point --store elsewhere"
+        )
+    runner = GRID_PRESETS[args.grid](
+        seed=args.seed, rounds=args.rounds, store=store_path
+    )
+
+    def report(event: CellEvent) -> None:
+        if event.status == "cached":
+            print(f"[store {event.completed}/{event.total}] {event.key} cached")
+        elif event.status == "failed":
+            print(
+                f"[run {event.completed}/{event.total}] {event.key} FAILED "
+                f"({event.error['type']}: {event.error['message']})"
+            )
+        else:
+            print(
+                f"[run {event.completed}/{event.total}] {event.key} "
+                f"done in {event.elapsed_s:.2f}s"
+            )
+
+    outcome = runner.run(make_executor(args.workers), progress=report)
+    print()
+    print(outcome.to_table())
+    print(
+        f"\n{len(outcome.computed)} computed, {len(outcome.cached)} cached, "
+        f"{len(outcome.failed)} failed -> {store_path}"
+    )
+    if headline_ordering_holds(outcome):
+        print("headline ordering holds: WO mean PSNR > MR in every scenario")
+    for key in outcome.failed:
+        error = outcome.results[key]["error"]
+        print(f"FAILED {key}: {error['type']}: {error['message']}")
+    return 1 if outcome.failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

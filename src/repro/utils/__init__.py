@@ -1,16 +1,35 @@
 """Shared utilities: deterministic RNG management and numeric helpers."""
 
-from repro.utils.checkpoint import load_model, load_state, save_model, save_state
+from repro.utils.checkpoint import (
+    atomic_write_bytes,
+    atomic_write_text,
+    load_model,
+    load_state,
+    save_model,
+    save_state,
+)
 from repro.utils.numeric import numerical_gradient
-from repro.utils.rng import SeedSequence, new_rng, spawn_rngs
+from repro.utils.rng import (
+    SeedSequence,
+    derive_seed,
+    new_rng,
+    rng_for,
+    seed_sequence_for,
+    spawn_rngs,
+)
 
 __all__ = [
     "new_rng",
     "spawn_rngs",
     "SeedSequence",
+    "seed_sequence_for",
+    "derive_seed",
+    "rng_for",
     "numerical_gradient",
     "save_state",
     "load_state",
     "save_model",
     "load_model",
+    "atomic_write_bytes",
+    "atomic_write_text",
 ]

@@ -1,25 +1,67 @@
-"""Model/state checkpointing to .npz archives.
+"""Model/state checkpointing to .npz archives, and crash-safe file writes.
 
 The FL simulator exchanges plain ``dict[str, np.ndarray]`` states; these
 helpers persist them (global-model checkpoints, attack reconstructions,
 experiment artifacts) without any pickle security surface.
+
+All writes here are *atomic*: content lands in a temporary file in the
+destination directory, is fsynced, and is moved into place with
+:func:`os.replace`.  A reader therefore observes either the old complete
+file or the new complete file — never a truncated half-write — which is
+what the resumable sweep stores rely on to survive kills mid-persist.
 """
 
 from __future__ import annotations
 
+import io
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
 
 
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # mkstemp creates 0600; give the final file the ordinary
+        # umask-derived mode so artifacts stay readable by whoever could
+        # read a plainly-written file.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
 def save_state(path: str | Path, state: dict[str, np.ndarray]) -> Path:
-    """Write a state dict to ``path`` (.npz appended if missing)."""
+    """Write a state dict to ``path`` (.npz appended if missing), atomically."""
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **state)
-    return path
+    buffer = io.BytesIO()
+    np.savez(buffer, **state)
+    return atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_state(path: str | Path) -> dict[str, np.ndarray]:

@@ -5,9 +5,18 @@ client sampling, attack parameter crafting, DP noise) draws from an explicit
 ``numpy.random.Generator``.  ``spawn_rngs`` derives independent child
 generators from a single experiment seed so that adding a consumer never
 perturbs the streams of existing ones.
+
+``seed_sequence_for`` / ``derive_seed`` extend that discipline to *named*
+consumers: the child stream is keyed by string labels (e.g. a sweep cell's
+configuration fingerprint) rather than a spawn position, so the stream a
+consumer receives is invariant to enumeration order, to how work is sharded
+across processes, and to which other consumers exist.  That invariance is
+what lets serial and parallel sweep executors produce bit-identical results.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -23,3 +32,38 @@ def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``."""
     children = np.random.SeedSequence(seed).spawn(count)
     return [np.random.default_rng(child) for child in children]
+
+
+def seed_sequence_for(base_seed: int, *labels: str) -> np.random.SeedSequence:
+    """A :class:`~numpy.random.SeedSequence` keyed by ``labels``, not position.
+
+    The labels are hashed into entropy words, so the resulting stream
+    depends only on ``(base_seed, labels)`` — two callers asking for the
+    same labels in two different processes (or at two different points of
+    an enumeration) get the same stream, while any label change yields a
+    statistically independent one.
+    """
+    entropy = [int(base_seed) & 0xFFFFFFFFFFFFFFFF]
+    for label in labels:
+        digest = hashlib.sha256(label.encode()).digest()
+        entropy.extend(
+            int.from_bytes(digest[offset : offset + 4], "little")
+            for offset in range(0, 16, 4)
+        )
+    return np.random.SeedSequence(entropy)
+
+
+def derive_seed(base_seed: int, *labels: str) -> int:
+    """A deterministic uint32 seed keyed by ``(base_seed, labels)``.
+
+    For components that take integer seeds (federation configs, attack
+    constructors) rather than generators; the same invariance guarantees
+    as :func:`seed_sequence_for`.
+    """
+    return int(seed_sequence_for(base_seed, *labels).generate_state(1)[0])
+
+
+def rng_for(base_seed: int, *labels: str) -> np.random.Generator:
+    """A generator keyed by ``(base_seed, labels)`` via
+    :func:`seed_sequence_for`."""
+    return np.random.default_rng(seed_sequence_for(base_seed, *labels))

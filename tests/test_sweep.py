@@ -12,8 +12,10 @@ from repro.experiments import (
     DEFAULT_SCENARIOS,
     ParticipationScenario,
     SweepCell,
+    SweepOutcome,
     SweepRunner,
     SweepStore,
+    SweepStoreError,
     headline_ordering_holds,
     run_defense_lineup,
     run_sweep,
@@ -165,13 +167,30 @@ class TestStoreResume:
         rerun = make_runner(lookalike, store=path).run()
         assert len(rerun.computed) == 2 and rerun.cached == []
 
-    def test_store_survives_corrupt_file(self, tmp_path):
+    def test_corrupt_store_detected_not_silently_emptied(self, tmp_path):
+        # A store truncated mid-write (or otherwise damaged) must raise a
+        # clear error instead of parsing as empty — silently recomputing a
+        # large grid is the worse failure mode.
         path = tmp_path / "sweep.json"
         path.write_text("{not json")
-        store = SweepStore(path)
-        assert len(store) == 0
-        store.put("cell", {"mean_psnr": 1.0})
-        assert json.loads(path.read_text())["cells"]["cell"]["mean_psnr"] == 1.0
+        with pytest.raises(SweepStoreError, match="corrupt"):
+            SweepStore(path)
+
+    def test_truncated_store_detected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        SweepStore(path).put("cell", {"mean_psnr": 1.0})
+        intact = path.read_text()
+        path.write_text(intact[: len(intact) // 2])
+        with pytest.raises(SweepStoreError, match="corrupt"):
+            SweepStore(path)
+
+    def test_foreign_json_detected(self, tmp_path):
+        # Valid JSON without the {"cells": {...}} shape is a foreign file;
+        # refusing protects it from being overwritten by the next put().
+        path = tmp_path / "sweep.json"
+        path.write_text('{"other": 1}')
+        with pytest.raises(SweepStoreError, match="cells"):
+            SweepStore(path)
 
     def test_memory_store_counts_hits_and_misses(self):
         store = SweepStore()
@@ -212,6 +231,123 @@ class TestHarnessesShareStore:
             np.testing.assert_array_equal(
                 first.distributions[name], again.distributions[name]
             )
+
+
+class TestHarnessParallelAndFailures:
+    """The per-figure harnesses ride the same executor engine."""
+
+    def test_run_sweep_parallel_matches_serial(self, sweep_dataset, tmp_path):
+        kwargs = dict(batch_sizes=(2, 3), neuron_counts=(24, 32), num_trials=1)
+        serial = run_sweep(
+            sweep_dataset, "rtf", store=SweepStore(tmp_path / "s.json"), **kwargs
+        )
+        parallel = run_sweep(
+            sweep_dataset, "rtf", store=SweepStore(tmp_path / "p.json"),
+            workers=2, **kwargs,
+        )
+        np.testing.assert_array_equal(serial.grid, parallel.grid)
+        assert (tmp_path / "s.json").read_bytes() == (
+            tmp_path / "p.json"
+        ).read_bytes()
+
+    def test_run_sweep_failure_lands_in_errors_not_exception(
+        self, sweep_dataset
+    ):
+        result = run_sweep(
+            sweep_dataset, "not-an-attack", batch_sizes=(3,),
+            neuron_counts=(32,), num_trials=1,
+        )
+        assert np.isnan(result.grid[0, 0])
+        assert result.errors[(32, 3)]["type"] == "ValueError"
+        # An all-NaN column yields no optimum rather than a NaN winner.
+        assert result.optima == {}
+
+    def test_optima_ignore_nan_cells(self):
+        from repro.experiments import SweepResult
+
+        result = SweepResult(
+            attack="rtf", dataset="d", batch_sizes=(3,),
+            neuron_counts=(24, 32), grid=np.array([[np.nan], [7.0]]),
+        )
+        result.compute_optima()
+        assert result.optima[3] == (32, 7.0)
+
+    def test_run_defense_lineup_parallel_matches_serial(
+        self, sweep_dataset, tmp_path
+    ):
+        serial = run_defense_lineup(
+            sweep_dataset, "rtf", 3, 32, ("WO", "MR"), num_trials=1,
+            store=SweepStore(tmp_path / "s.json"),
+        )
+        parallel = run_defense_lineup(
+            sweep_dataset, "rtf", 3, 32, ("WO", "MR"), num_trials=1,
+            store=SweepStore(tmp_path / "p.json"), workers=2,
+        )
+        assert list(serial.distributions) == list(parallel.distributions)
+        for name in serial.distributions:
+            np.testing.assert_array_equal(
+                serial.distributions[name], parallel.distributions[name]
+            )
+
+    def test_run_defense_lineup_failed_arm_recorded(self, sweep_dataset):
+        result = run_defense_lineup(
+            sweep_dataset, "rtf", 3, 32, ("WO", "bogus-suite"), num_trials=1,
+        )
+        assert len(result.distributions["WO"]) > 0
+        assert len(result.distributions["bogus-suite"]) == 0
+        assert result.errors["bogus-suite"]["type"] == "KeyError"
+        assert "bogus-suite" in result.to_table()
+
+
+class TestOutcomeEdgeCases:
+    """Previously-untested paths: empty grids, single cells, failed cells."""
+
+    def test_empty_outcome_headline_vacuously_false(self):
+        assert headline_ordering_holds(SweepOutcome()) is False
+
+    def test_empty_outcome_mean_psnr_raises_keyerror(self):
+        with pytest.raises(KeyError, match="rtf|WO|full"):
+            SweepOutcome().mean_psnr("rtf", "WO", "full")
+
+    def test_single_cell_grid_has_no_headline_pair(self, sweep_dataset):
+        outcome = make_runner(sweep_dataset, defenses=("WO",)).run()
+        assert len(outcome.results) == 1
+        assert headline_ordering_holds(outcome) is False
+        assert outcome.mean_psnr("rtf", "WO", "full") > 0.0
+
+    def test_error_cell_mean_psnr_raises_valueerror(self):
+        outcome = SweepOutcome(
+            results={
+                "rtf|MR|full": {
+                    "attack": "rtf",
+                    "defense": "MR",
+                    "scenario": "full",
+                    "error": {"type": "KeyError", "message": "boom",
+                              "traceback": ""},
+                }
+            },
+            failed=["rtf|MR|full"],
+        )
+        with pytest.raises(ValueError, match="rtf\\|MR\\|full.*KeyError"):
+            outcome.mean_psnr("rtf", "MR", "full")
+
+    def test_error_cell_skipped_by_headline_and_rendered_as_err(
+        self, sweep_dataset
+    ):
+        outcome = make_runner(
+            sweep_dataset, defenses=("WO", "MR", "bogus-suite")
+        ).run()
+        # The bogus arm fails; the WO/MR pair still decides the headline.
+        assert headline_ordering_holds(outcome) is True
+        assert (
+            headline_ordering_holds(outcome, defended="bogus-suite") is False
+        )
+        assert "ERR" in outcome.to_table()
+
+    def test_missing_pair_is_vacuously_false(self, sweep_dataset):
+        # Cells exist for the attack but not the requested defense pair.
+        outcome = make_runner(sweep_dataset, defenses=("WO", "MR")).run()
+        assert headline_ordering_holds(outcome, defended="SH") is False
 
 
 @pytest.mark.sweep_scale

@@ -1,0 +1,75 @@
+"""The `python -m repro.experiments.sweep` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import GRID_PRESETS, main
+
+
+def test_smoke_grid_runs_and_persists(tmp_path, capsys):
+    store = tmp_path / "sweep.json"
+    exit_code = main(["--grid", "smoke", "--store", str(store)])
+    assert exit_code == 0
+    cells = json.loads(store.read_text())["cells"]
+    assert len(cells) == 2
+    output = capsys.readouterr().out
+    assert "2 computed, 0 cached, 0 failed" in output
+    assert "headline ordering holds" in output
+    assert "done in" in output  # per-cell progress lines
+
+
+def test_existing_store_requires_resume_flag(tmp_path, capsys):
+    store = tmp_path / "sweep.json"
+    assert main(["--grid", "smoke", "--store", str(store)]) == 0
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--grid", "smoke", "--store", str(store)])
+    assert excinfo.value.code == 2
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_leftover_shards_also_require_resume_flag(tmp_path, capsys):
+    # A killed parallel run may leave only shards (no main store yet);
+    # starting "fresh" over them must be refused too, or their results
+    # would be silently absorbed into the new run.
+    store = tmp_path / "sweep.json"
+    (tmp_path / "sweep.json.shards").mkdir()
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--grid", "smoke", "--store", str(store)])
+    assert excinfo.value.code == 2
+    assert "shards" in capsys.readouterr().err
+
+
+def test_resume_serves_finished_cells_from_store(tmp_path, capsys):
+    store = tmp_path / "sweep.json"
+    assert main(["--grid", "smoke", "--store", str(store)]) == 0
+    before = store.read_bytes()
+    assert main(["--grid", "smoke", "--store", str(store), "--resume"]) == 0
+    assert store.read_bytes() == before
+    assert "0 computed, 2 cached, 0 failed" in capsys.readouterr().out
+
+
+def test_workers_flag_matches_serial_store(tmp_path):
+    serial = tmp_path / "serial.json"
+    parallel = tmp_path / "parallel.json"
+    assert main(["--grid", "smoke", "--store", str(serial)]) == 0
+    assert (
+        main(["--grid", "smoke", "--store", str(parallel), "--workers", "2"])
+        == 0
+    )
+    assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_seed_flag_changes_results(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["--grid", "smoke", "--store", str(a)]) == 0
+    assert main(["--grid", "smoke", "--store", str(b), "--seed", "7"]) == 0
+    assert a.read_bytes() != b.read_bytes()
+
+
+def test_every_preset_builds_a_runner(tmp_path):
+    for name, build in GRID_PRESETS.items():
+        runner = build(seed=0, rounds=1, store=tmp_path / f"{name}.json")
+        assert len(runner.cells()) >= 2

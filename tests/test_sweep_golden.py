@@ -1,0 +1,113 @@
+"""Golden-file regression suite for the sweep engine's numeric output.
+
+Snapshots of a fixed 4-cell grid — ``SweepOutcome.to_table()`` and every
+per-cell result dict — live in ``tests/golden/``.  Any change to the
+attack/defense hot path (gradient algebra, PSNR matching, batch expansion,
+seed derivation) that shifts these numbers fails here, so silent numeric
+drift can't ride in on an unrelated refactor.
+
+When a change is *intended* to move the numbers (e.g. a new seeding
+scheme), regenerate the snapshots and commit them with the change::
+
+    PYTHONPATH=src python tests/test_sweep_golden.py
+
+Float comparisons use a 1e-6 relative tolerance: tight enough to catch
+real drift, loose enough to survive BLAS/numpy version differences across
+CI hosts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+CELLS_PATH = GOLDEN_DIR / "sweep_cells.json"
+TABLE_PATH = GOLDEN_DIR / "sweep_table.txt"
+
+REL_TOLERANCE = 1e-6
+
+
+def golden_runner(store=None):
+    """The frozen 4-cell grid the snapshots were generated from.
+
+    Changing anything here invalidates the snapshots — regenerate them in
+    the same commit.
+    """
+    from repro.data import make_synthetic_dataset
+    from repro.experiments import ParticipationScenario, SweepRunner
+
+    dataset = make_synthetic_dataset(
+        4, 12, image_size=8, seed=3, name="golden"
+    )
+    return SweepRunner(
+        dataset,
+        attacks=("rtf",),
+        defenses=("WO", "MR"),
+        scenarios=(
+            ParticipationScenario("full", num_clients=2),
+            ParticipationScenario("sampled", num_clients=4, clients_per_round=2),
+        ),
+        batch_size=3,
+        num_neurons=48,
+        public_size=48,
+        seed=0,
+        store=store,
+    )
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return golden_runner().run()
+
+
+def test_golden_files_exist():
+    assert CELLS_PATH.is_file(), (
+        f"missing {CELLS_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_sweep_golden.py`"
+    )
+    assert TABLE_PATH.is_file()
+
+
+def test_per_cell_results_match_golden(outcome):
+    golden = json.loads(CELLS_PATH.read_text())["cells"]
+    assert sorted(outcome.results) == sorted(golden), (
+        "grid shape changed; regenerate the golden files if intended"
+    )
+    for key, expected in golden.items():
+        actual = outcome.results[key]
+        assert sorted(actual) == sorted(expected), f"result fields changed in {key}"
+        for field, value in expected.items():
+            if isinstance(value, float):
+                assert actual[field] == pytest.approx(
+                    value, rel=REL_TOLERANCE, abs=1e-9
+                ), f"numeric drift in {key}.{field}"
+            else:
+                assert actual[field] == value, f"drift in {key}.{field}"
+
+
+def test_table_matches_golden(outcome):
+    assert outcome.to_table() == TABLE_PATH.read_text().rstrip("\n")
+
+
+def test_golden_grid_still_shows_headline_ordering(outcome):
+    from repro.experiments import headline_ordering_holds
+
+    assert headline_ordering_holds(outcome)
+
+
+def regenerate() -> None:
+    """Rewrite the golden snapshots from a fresh serial run."""
+    result = golden_runner().run()
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    CELLS_PATH.write_text(
+        json.dumps({"cells": result.results}, indent=2, sort_keys=True) + "\n"
+    )
+    TABLE_PATH.write_text(result.to_table() + "\n")
+    print(f"wrote {CELLS_PATH}\nwrote {TABLE_PATH}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -1,0 +1,323 @@
+"""Parallel sweep execution: determinism, shard recovery, failure isolation.
+
+The engine's contract: serial runs, parallel runs with any worker count,
+and resumed-after-kill runs of the same grid all produce the identical
+``store_key -> result`` mapping — and therefore byte-identical persisted
+stores — because every cell's randomness is keyed by its configuration
+fingerprint, never by execution order or worker assignment.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import make_synthetic_dataset
+from repro.experiments import (
+    CellEvent,
+    ParallelSweepExecutor,
+    ParticipationScenario,
+    SerialSweepExecutor,
+    SweepCell,
+    SweepRunner,
+    SweepStore,
+    headline_ordering_holds,
+    make_executor,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset():
+    return make_synthetic_dataset(4, 12, image_size=8, seed=3, name="sweep")
+
+
+def make_runner(dataset, store=None, **overrides):
+    """The smoke grid: 4 cells of rtf x (WO, MR) x (full, sampled)."""
+    kwargs = dict(
+        attacks=("rtf",),
+        defenses=("WO", "MR"),
+        scenarios=(
+            ParticipationScenario("full", num_clients=2),
+            ParticipationScenario("sampled", num_clients=4, clients_per_round=2),
+        ),
+        batch_size=3,
+        num_neurons=48,
+        public_size=48,
+        seed=0,
+        store=store,
+    )
+    kwargs.update(overrides)
+    return SweepRunner(dataset, **kwargs)
+
+
+class TestExecutorEquivalence:
+    def test_two_worker_store_byte_identical_to_serial(
+        self, sweep_dataset, tmp_path
+    ):
+        # The acceptance criterion: the parallel store file is the same
+        # bytes as the serial one (sort_keys makes key order canonical).
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        serial = make_runner(sweep_dataset, store=serial_path).run()
+        parallel = make_runner(sweep_dataset, store=parallel_path).run(
+            make_executor(2)
+        )
+        assert len(serial.computed) == len(parallel.computed) == 4
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        assert parallel.results == serial.results
+
+    def test_worker_count_invariance(self, sweep_dataset, tmp_path):
+        references = None
+        for workers in (1, 2, 3):
+            path = tmp_path / f"w{workers}.json"
+            make_runner(sweep_dataset, store=path).run(make_executor(workers))
+            content = path.read_bytes()
+            if references is None:
+                references = content
+            assert content == references, f"{workers}-worker store diverged"
+
+    def test_parallel_outcome_populates_timings_and_order(
+        self, sweep_dataset, tmp_path
+    ):
+        outcome = make_runner(sweep_dataset, store=tmp_path / "s.json").run(
+            make_executor(2)
+        )
+        # Grid-order results regardless of completion order, with a timing
+        # per computed cell.
+        runner = make_runner(sweep_dataset)
+        assert list(outcome.results) == [cell.key for cell in runner.cells()]
+        assert sorted(outcome.timings) == sorted(outcome.results)
+        assert all(elapsed >= 0.0 for elapsed in outcome.timings.values())
+
+    def test_make_executor_selects_by_workers(self):
+        assert isinstance(make_executor(1), SerialSweepExecutor)
+        assert isinstance(make_executor(4), ParallelSweepExecutor)
+        with pytest.raises(ValueError):
+            ParallelSweepExecutor(0)
+
+    def test_memory_only_store_runs_parallel(self, sweep_dataset):
+        outcome = make_runner(sweep_dataset).run(make_executor(2))
+        assert len(outcome.computed) == 4
+        assert headline_ordering_holds(outcome)
+
+
+class TestResume:
+    def test_resume_after_partial_serial_finishes_parallel(
+        self, sweep_dataset, tmp_path
+    ):
+        # Simulate a killed run: only half the grid reached the store.
+        path = tmp_path / "sweep.json"
+        make_runner(
+            sweep_dataset,
+            store=path,
+            scenarios=(ParticipationScenario("full", num_clients=2),),
+        ).run()
+        resumed = make_runner(sweep_dataset, store=path).run(make_executor(2))
+        assert len(resumed.cached) == 2 and len(resumed.computed) == 2
+
+        reference_path = tmp_path / "reference.json"
+        make_runner(sweep_dataset, store=reference_path).run()
+        assert path.read_bytes() == reference_path.read_bytes()
+
+    def test_crashed_parallel_shards_recovered_by_next_run(
+        self, sweep_dataset, tmp_path
+    ):
+        # A killed parallel run leaves per-worker shards behind; the next
+        # run (serial here) must absorb them as finished cells, not
+        # recompute them, and clean the shard directory up.
+        reference_path = tmp_path / "reference.json"
+        reference = make_runner(sweep_dataset, store=reference_path).run()
+
+        path = tmp_path / "sweep.json"
+        shard_dir = tmp_path / "sweep.json.shards"
+        shard_dir.mkdir()
+        runner = make_runner(sweep_dataset, store=path)
+        first_cell = runner.cells()[0]
+        shard = SweepStore(shard_dir / "shard-12345.json")
+        shard.put(
+            runner.store_key(first_cell), reference.results[first_cell.key]
+        )
+
+        resumed = make_runner(sweep_dataset, store=path).run()
+        assert first_cell.key in resumed.cached
+        assert len(resumed.computed) == 3
+        assert not shard_dir.exists()
+        assert path.read_bytes() == reference_path.read_bytes()
+
+    def test_survivor_shards_not_deleted_by_staged_parallel_execute(
+        self, sweep_dataset, tmp_path
+    ):
+        # The staged API (execute without run's recover step) must still
+        # absorb a previous killed run's shards during cleanup, never
+        # delete them unmerged.
+        path = tmp_path / "sweep.json"
+        runner = make_runner(sweep_dataset, store=path)
+        shard_dir = runner.store.shard_directory()
+        shard_dir.mkdir()
+        SweepStore(shard_dir / "shard-999.json").put(
+            "survivor-key", {"mean_psnr": 42.0}
+        )
+        runner.execute(runner.cells()[:1], ParallelSweepExecutor(2))
+        assert not shard_dir.exists()
+        assert json.loads(path.read_text())["cells"]["survivor-key"] == {
+            "mean_psnr": 42.0
+        }
+
+    def test_recover_shards_counts_and_is_idempotent(self, sweep_dataset, tmp_path):
+        path = tmp_path / "sweep.json"
+        store = SweepStore(path)
+        shard_dir = store.shard_directory()
+        shard_dir.mkdir()
+        SweepStore(shard_dir / "shard-1.json").put("a", 1)
+        SweepStore(shard_dir / "shard-2.json").put("b", 2)
+        assert store.recover_shards() == 2
+        assert store.recover_shards() == 0
+        assert sorted(store.keys()) == ["a", "b"]
+
+
+def _exit_worker_hard(payload):
+    """A task that kills its worker process outright (no exception)."""
+    import os
+
+    os._exit(13)
+
+
+class TestFailureIsolation:
+    def test_dead_worker_raises_broken_pool_instead_of_hanging(self, tmp_path):
+        # Exceptions become structured failures, but a worker that dies
+        # without raising must surface as BrokenProcessPool, not a hang.
+        from concurrent.futures.process import BrokenProcessPool
+
+        store = SweepStore(tmp_path / "s.json")
+        with pytest.raises(BrokenProcessPool):
+            ParallelSweepExecutor(2).run(
+                [("key", _exit_worker_hard, None)], store
+            )
+    def test_failed_cell_records_structured_error(self, sweep_dataset, tmp_path):
+        path = tmp_path / "sweep.json"
+        outcome = make_runner(
+            sweep_dataset, store=path, defenses=("WO", "bogus-suite")
+        ).run()
+        failed_key = SweepCell("rtf", "bogus-suite", "full").key
+        assert failed_key in outcome.failed
+        error = outcome.results[failed_key]["error"]
+        assert error["type"] == "KeyError"
+        assert "bogus-suite" in error["message"]
+        assert "traceback" in error
+        # The two WO cells and nothing else persisted: failures retry.
+        persisted = json.loads(path.read_text())["cells"]
+        assert len(persisted) == 2
+        assert all("WO" in key for key in persisted)
+
+    def test_failed_cells_retry_on_next_run(self, sweep_dataset, tmp_path):
+        path = tmp_path / "sweep.json"
+        kwargs = dict(store=path, defenses=("WO", "bogus-suite"))
+        first = make_runner(sweep_dataset, **kwargs).run()
+        again = make_runner(sweep_dataset, **kwargs).run(make_executor(2))
+        assert sorted(again.cached) == sorted(first.computed)
+        assert sorted(again.failed) == sorted(first.failed)
+
+    def test_parallel_failure_does_not_kill_other_cells(
+        self, sweep_dataset, tmp_path
+    ):
+        outcome = make_runner(
+            sweep_dataset, store=tmp_path / "s.json",
+            defenses=("WO", "bogus-suite", "MR"),
+        ).run(make_executor(2))
+        assert len(outcome.computed) == 4 and len(outcome.failed) == 2
+        assert headline_ordering_holds(outcome)
+
+    def test_progress_events_cover_every_cell(self, sweep_dataset, tmp_path):
+        path = tmp_path / "sweep.json"
+        make_runner(
+            sweep_dataset,
+            store=path,
+            scenarios=(ParticipationScenario("full", num_clients=2),),
+        ).run()
+        events: list[CellEvent] = []
+        make_runner(
+            sweep_dataset, store=path, defenses=("WO", "MR", "bogus-suite")
+        ).run(make_executor(2), progress=events.append)
+        statuses = sorted(event.status for event in events)
+        assert statuses == ["cached", "cached", "done", "done", "failed", "failed"]
+        failures = [event for event in events if event.status == "failed"]
+        assert all(event.error["type"] == "KeyError" for event in failures)
+
+
+class TestSeedDerivation:
+    """Cell seeding is a pure function of (base seed, cell fingerprint)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(order=st.permutations(list(range(8))), seed=st.integers(0, 2**31 - 1))
+    def test_cell_seed_invariant_to_enumeration_order(
+        self, sweep_dataset, order, seed
+    ):
+        runner = make_runner(
+            sweep_dataset,
+            attacks=("rtf", "cah"),
+            defenses=("WO", "MR"),
+            seed=seed,
+        )
+        cells = runner.cells()
+        assert len(cells) == 8
+        straight = {cell: runner.cell_seed(cell) for cell in cells}
+        shuffled = {
+            cells[index]: runner.cell_seed(cells[index]) for index in order
+        }
+        assert shuffled == straight
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_cell_seed_invariant_to_axis_declaration_order(
+        self, sweep_dataset, seed
+    ):
+        forward = make_runner(
+            sweep_dataset, defenses=("WO", "MR", "SH"), seed=seed
+        )
+        reversed_axes = make_runner(
+            sweep_dataset, defenses=("SH", "MR", "WO"), seed=seed
+        )
+        for cell in forward.cells():
+            assert forward.cell_seed(cell) == reversed_axes.cell_seed(cell)
+
+    def test_distinct_cells_get_distinct_seeds(self, sweep_dataset):
+        runner = make_runner(
+            sweep_dataset, attacks=("rtf", "cah"), defenses=("WO", "MR", "SH")
+        )
+        seeds = [runner.cell_seed(cell) for cell in runner.cells()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_base_seed_changes_cell_seeds(self, sweep_dataset):
+        base = make_runner(sweep_dataset, seed=0)
+        moved = make_runner(sweep_dataset, seed=1)
+        for cell in base.cells():
+            assert base.cell_seed(cell) != moved.cell_seed(cell)
+
+
+class TestStagedApi:
+    """cells() -> execute() -> collect() compose the same as run()."""
+
+    def test_staged_run_matches_run(self, sweep_dataset, tmp_path):
+        runner = make_runner(sweep_dataset, store=tmp_path / "staged.json")
+        cells = runner.cells()
+        executions = runner.execute(cells, SerialSweepExecutor())
+        outcome = runner.collect(cells, executions)
+        reference = make_runner(
+            sweep_dataset, store=tmp_path / "reference.json"
+        ).run()
+        assert outcome.results == reference.results
+        assert outcome.computed == reference.computed
+
+    def test_execute_persists_only_successes(self, sweep_dataset, tmp_path):
+        runner = make_runner(
+            sweep_dataset,
+            store=tmp_path / "s.json",
+            defenses=("WO", "bogus-suite"),
+        )
+        runner.execute(runner.cells())
+        assert all("WO" in key for key in runner.store.keys())
+        assert len(runner.store) == 2
