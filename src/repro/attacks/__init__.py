@@ -1,4 +1,9 @@
-"""Active reconstruction attacks: RTF, CAH, and linear-model inversion."""
+"""Active reconstruction attacks: the pluggable attack zoo.
+
+Built-in entries: RTF, CAH, linear-model inversion, QBI, and LOKI — all
+registered in :mod:`repro.attacks.registry` and resolvable by name through
+:func:`make_attack`.
+"""
 
 from repro.attacks.base import (
     ActiveReconstructionAttack,
@@ -15,7 +20,22 @@ from repro.attacks.imprint import (
     invert_gradient_pair,
 )
 from repro.attacks.linear import LinearClassifier, LinearModelInversion
+from repro.attacks.loki import LOKIAttack
+from repro.attacks.qbi import QBIAttack, sole_activation_probability
+from repro.attacks.registry import (
+    AttackKnob,
+    AttackRegistryError,
+    AttackSpec,
+    DuplicateAttackError,
+    UnknownAttackError,
+    attack_spec,
+    available_attacks,
+    make_attack,
+    register_attack,
+    unregister_attack,
+)
 from repro.attacks.rtf import RTFAttack
+from repro.attacks.traps import TrapImprintAttack
 
 __all__ = [
     "ActiveReconstructionAttack",
@@ -29,6 +49,20 @@ __all__ = [
     "IMPRINT_BIAS",
     "RTFAttack",
     "CAHAttack",
+    "QBIAttack",
+    "LOKIAttack",
+    "TrapImprintAttack",
+    "sole_activation_probability",
     "LinearClassifier",
     "LinearModelInversion",
+    "AttackSpec",
+    "AttackKnob",
+    "AttackRegistryError",
+    "UnknownAttackError",
+    "DuplicateAttackError",
+    "register_attack",
+    "unregister_attack",
+    "attack_spec",
+    "available_attacks",
+    "make_attack",
 ]

@@ -19,14 +19,35 @@ class ReconstructionResult:
     for CAH, classes present for the linear attack).  ``neuron_indices``
     maps each reconstruction back to the neuron (or bin / class) that
     produced it.  ``raw`` optionally keeps the flat unclipped vectors.
+
+    ``occupancy`` (aligned with ``images``) is each reconstruction's raw
+    bias-gradient mass — the Eq. 6 denominator before any clamping, i.e.
+    the summed backprop coefficients of the samples the neuron/bin caught.
+    Values near zero mark ill-conditioned inversions a caller may want to
+    discount.  ``reason`` explains an *empty* result in a structured way
+    ("no occupied bins", "degenerate trap calibration: ...") instead of
+    leaving an empty array indistinguishable from a healthy miss.
     """
 
     images: np.ndarray
     neuron_indices: list[int] = field(default_factory=list)
     raw: Optional[np.ndarray] = None
+    occupancy: Optional[np.ndarray] = None
+    reason: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.images)
+
+    @classmethod
+    def empty(
+        cls, image_shape: tuple[int, int, int], reason: Optional[str] = None
+    ) -> "ReconstructionResult":
+        """An empty result carrying a structured explanation."""
+        return cls(
+            images=np.empty((0,) + tuple(image_shape)),
+            neuron_indices=[],
+            reason=reason,
+        )
 
 
 class ActiveReconstructionAttack:

@@ -15,20 +15,19 @@ reduces *the probability* of sole activations.  Expanding the batch with
 several transforms (the paper's MR+SH integration, Fig. 6) drives that
 probability down — which is exactly the behaviour this implementation
 reproduces.
+
+The trap mechanics (random directions, quantile-placed biases, Eq. 6
+inversion of fired neurons, degenerate-calibration guards) live in
+:mod:`repro.attacks.traps` and are shared with the QBI and LOKI attacks;
+CAH's distinguishing choice is a *fixed small* activation probability.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
-from scipy import stats
-
-from repro.attacks.base import ActiveReconstructionAttack, ReconstructionResult, clip_to_image
-from repro.attacks.imprint import ImprintedModel, extract_imprint_gradients
+from repro.attacks.traps import TrapImprintAttack
 
 
-class CAHAttack(ActiveReconstructionAttack):
+class CAHAttack(TrapImprintAttack):
     """Trap-weight imprint attack with tunable activation probability.
 
     Parameters
@@ -61,98 +60,12 @@ class CAHAttack(ActiveReconstructionAttack):
         signal_tolerance: float = 1e-10,
         deduplicate: bool = True,
     ) -> None:
-        if not 0.0 < activation_probability < 1.0:
-            raise ValueError("activation_probability must be in (0, 1)")
-        self.num_neurons = num_neurons
-        self.activation_probability = activation_probability
-        self.pixel_mean = pixel_mean
-        self.pixel_std = pixel_std
-        self.seed = seed
-        self.signal_tolerance = signal_tolerance
-        self.deduplicate = deduplicate
-        self._image_shape: Optional[tuple[int, int, int]] = None
-        self._public_flat: Optional[np.ndarray] = None
-
-    def calibrate_from_public_data(self, public_images: np.ndarray) -> None:
-        """Calibrate against a public dataset.
-
-        Keeps the flattened public images so :meth:`craft` can place each
-        trap neuron's bias at the *empirical* (1 - p) quantile of that
-        neuron's projection distribution — the data-driven tuning the CAH
-        authors describe, and considerably sharper than a Gaussian moment
-        fit when pixels are spatially correlated.
-        """
-        flat = public_images.reshape(len(public_images), -1).astype(np.float64)
-        self._public_flat = flat
-        self.pixel_mean = float(flat.mean())
-        self.pixel_std = float(max(flat.std(), 1e-6))
-
-    def craft(self, model: ImprintedModel) -> None:
-        if model.num_neurons != self.num_neurons:
-            raise ValueError(
-                f"model has {model.num_neurons} attacked neurons, "
-                f"attack expects {self.num_neurons}"
-            )
-        self._image_shape = model.input_shape
-        d = model.flat_dim
-        rng = np.random.default_rng(self.seed)
-        # Unit-variance random directions: rows w_i ~ N(0, 1/d) entrywise.
-        weight = rng.standard_normal((self.num_neurons, d)) / np.sqrt(d)
-        if self._public_flat is not None and len(self._public_flat) >= 8:
-            # Empirical per-neuron quantile of the projection distribution.
-            projections = weight @ self._public_flat.T  # (n, num_public)
-            thresholds = np.quantile(
-                projections, 1.0 - self.activation_probability, axis=1
-            )
-            bias = -thresholds
-        else:
-            # Gaussian moment fallback assuming iid pixels (mean m, std s):
-            #   proj mean_i = m * sum(w_i),  proj std_i ~= s * ||w_i||.
-            row_sums = weight.sum(axis=1)
-            row_norms = np.linalg.norm(weight, axis=1)
-            z = stats.norm.ppf(1.0 - self.activation_probability)
-            bias = -(self.pixel_mean * row_sums + z * self.pixel_std * row_norms)
-        model.set_imprint_parameters(weight, bias)
-
-    def reconstruct(self, gradients: dict[str, np.ndarray]) -> ReconstructionResult:
-        if self._image_shape is None:
-            raise RuntimeError("craft() must run before reconstruct()")
-        weight_grad, bias_grad = extract_imprint_gradients(gradients)
-        active = np.abs(bias_grad) > self.signal_tolerance
-        indices = np.flatnonzero(active)
-        if indices.size == 0:
-            empty = np.empty((0,) + self._image_shape)
-            return ReconstructionResult(images=empty, neuron_indices=[])
-        flat = weight_grad[indices] / bias_grad[indices, None]
-        if self.deduplicate and len(flat) > 1:
-            flat, indices = _deduplicate(flat, indices)
-        return ReconstructionResult(
-            images=clip_to_image(flat, self._image_shape),
-            neuron_indices=[int(i) for i in indices],
-            raw=flat,
+        super().__init__(
+            num_neurons,
+            activation_probability,
+            pixel_mean=pixel_mean,
+            pixel_std=pixel_std,
+            seed=seed,
+            signal_tolerance=signal_tolerance,
+            deduplicate=deduplicate,
         )
-
-
-def _deduplicate(
-    flat: np.ndarray, indices: np.ndarray, similarity: float = 0.9999
-) -> tuple[np.ndarray, np.ndarray]:
-    """Collapse near-identical reconstructions (many traps catch the same x).
-
-    Greedy pass in neuron order; keeps the first representative of each
-    cluster of cosine-similar vectors.  The pairwise similarities are
-    computed as one Gram matrix so the pass stays fast for hundreds of
-    candidate reconstructions.
-    """
-    norms = np.linalg.norm(flat, axis=1)
-    norms = np.where(norms < 1e-12, 1.0, norms)
-    normalized = flat / norms[:, None]
-    gram = normalized @ normalized.T
-    duplicate_of_earlier_kept = np.zeros(len(flat), dtype=bool)
-    keep: list[int] = []
-    for row in range(len(flat)):
-        if duplicate_of_earlier_kept[row]:
-            continue
-        keep.append(row)
-        duplicate_of_earlier_kept |= gram[row] > similarity
-    keep_array = np.array(keep, dtype=np.int64)
-    return flat[keep_array], indices[keep_array]

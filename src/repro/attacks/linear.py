@@ -77,11 +77,13 @@ class LinearModelInversion:
         # recoverable sample, so invert only the negative rows.
         indices = np.flatnonzero(bias_grad < -self.signal_tolerance)
         if indices.size == 0:
-            empty = np.empty((0,) + self._image_shape)
-            return ReconstructionResult(images=empty, neuron_indices=[])
+            return ReconstructionResult.empty(
+                self._image_shape, reason="no class row carries signal"
+            )
         flat = weight_grad[indices] / bias_grad[indices, None]
         return ReconstructionResult(
             images=clip_to_image(flat, self._image_shape),
             neuron_indices=[int(i) for i in indices],
             raw=flat,
+            occupancy=bias_grad[indices],
         )

@@ -48,6 +48,17 @@ class RTFAttack(ActiveReconstructionAttack):
         Magnitude of the crafted weights; cancels in the inversion.
     signal_tolerance:
         Bias-gradient differences below this are treated as empty bins.
+    denominator_floor:
+        Clamp for the Eq. 6 denominator: a bin whose bias-gradient
+        difference sits just above ``signal_tolerance`` is *occupied* but
+        numerically treacherous — dividing by it amplifies gradient noise
+        into garbage pixels.  Denominators are clamped (sign-preserving)
+        to at least this floor in both the ``images`` and ``raw`` paths,
+        bounding the amplification at ``1/denominator_floor`` while the
+        result's ``occupancy`` field still reports the raw bin mass so
+        callers can discount the weak bins.  Defaults to
+        ``signal_tolerance`` (no behaviour change for well-conditioned
+        bins).
     """
 
     name = "rtf"
@@ -59,6 +70,7 @@ class RTFAttack(ActiveReconstructionAttack):
         measurement_std: float = 0.1,
         scale: float = 1.0,
         signal_tolerance: float = 1e-10,
+        denominator_floor: Optional[float] = None,
     ) -> None:
         if num_neurons < 2:
             raise ValueError("RTF needs at least two neurons to form a bin")
@@ -67,6 +79,14 @@ class RTFAttack(ActiveReconstructionAttack):
         self.measurement_std = measurement_std
         self.scale = scale
         self.signal_tolerance = signal_tolerance
+        self.denominator_floor = (
+            signal_tolerance if denominator_floor is None else denominator_floor
+        )
+        if self.denominator_floor < signal_tolerance:
+            raise ValueError(
+                "denominator_floor below signal_tolerance would clamp bins "
+                "already classified as empty"
+            )
         self._image_shape: Optional[tuple[int, int, int]] = None
         self._quantiles: Optional[np.ndarray] = None
 
@@ -113,13 +133,23 @@ class RTFAttack(ActiveReconstructionAttack):
         occupied = np.abs(bias_diff) > self.signal_tolerance
         indices = np.flatnonzero(occupied)
         if indices.size == 0:
-            empty = np.empty((0,) + self._image_shape)
-            return ReconstructionResult(images=empty, neuron_indices=[])
-        flat = weight_diff[indices] / bias_diff[indices, None]
+            return ReconstructionResult.empty(
+                self._image_shape, reason="no occupied measurement bin"
+            )
+        occupancy = bias_diff[indices]
+        # Sign-preserving clamp: a denominator barely above the tolerance
+        # would amplify gradient noise by up to 1/tolerance; both the
+        # clipped images and the raw vectors divide by the same clamped
+        # value so they can never disagree about a bin's reconstruction.
+        denominators = np.sign(occupancy) * np.maximum(
+            np.abs(occupancy), self.denominator_floor
+        )
+        flat = weight_diff[indices] / denominators[:, None]
         return ReconstructionResult(
             images=clip_to_image(flat, self._image_shape),
             neuron_indices=[int(i) for i in indices],
             raw=flat,
+            occupancy=occupancy,
         )
 
     # ------------------------------------------------------------------

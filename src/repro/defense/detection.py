@@ -11,10 +11,29 @@ Signatures checked per fully-connected weight/bias pair:
 - **RTF (structural)**: many mutually colinear weight rows (compared
   against the dominant row direction, sign-insensitive) with strictly
   monotone biases — the quantile-bin construction.
+- **LOKI (structural)**: a large fraction of exactly-zero weight rows
+  whose biases are pinned far negative (permanently dark neurons)
+  alongside a live block — the per-client-disjoint block construction.
+  No conventional initialization or training produces bit-zero rows.
 - **CAH (functional)**: when the client probes the layer with its *own*
   data, trap weights show an implausibly sparse activation profile —
   nearly every neuron fires for only a small fraction of inputs, unlike
   any conventionally initialized or trained layer.
+- **QBI (functional)**: quantile-placed biases pin every neuron's firing
+  rate to the *same* target (1/B), so the per-neuron activation rates
+  cluster in a band far tighter than any conventional layer's — even
+  when the target rate itself is too large for the CAH sparsity check.
+  The band's ceiling deliberately stops below 0.5: rates pinned *at*
+  one half (QBI with ``expected_batch_size=2``) are statistically
+  indistinguishable from an honest zero-bias layer on centered data, so
+  flagging them would trade a detection nobody can make for a steady
+  false-positive stream.
+
+Layer discovery is deliberately forgiving about naming: an attacker
+controls the state-dict keys, so weight/bias pairs are matched under any
+of the common separators (``imprint.weight``, ``imprint_weight``, a bare
+``weight``) and a transposed weight matrix (bias length matching the
+*column* count) is normalized before inspection rather than escaping it.
 
 Detection is heuristic by design: a server aware of the detector can trade
 attack efficiency for stealth (e.g. noising rows), which is exactly why
@@ -39,15 +58,58 @@ class DetectionReport:
         return self.suspicious
 
 
+# Separators under which `<root><sep>weight` / `<root><sep>bias` pairs are
+# recognized.  "" covers a bare top-level "weight" key.
+_KEY_SEPARATORS = (".", "_", "-", "/", "")
+
+
+def _bias_key_candidates(name: str) -> list[str]:
+    """Possible bias keys for a weight key, lowercased, across conventions."""
+    lowered = name.lower()
+    candidates = []
+    for sep in _KEY_SEPARATORS:
+        suffix = f"{sep}weight"
+        if lowered.endswith(suffix):
+            # The bias may use a different separator than the weight
+            # (e.g. "imprint_weight" next to "imprint.bias").
+            bare_root = lowered[: len(lowered) - len(suffix)]
+            for bias_sep in _KEY_SEPARATORS:
+                candidate = bare_root + bias_sep + "bias"
+                if candidate not in candidates:
+                    candidates.append(candidate)
+            break
+    return candidates
+
+
 def _linear_pairs(state: dict[str, np.ndarray]):
-    """Yield (name, weight, bias) for FC layers found in a state dict."""
+    """Yield (name, weight, bias) for FC layers found in a state dict.
+
+    Matches weight keys under any common separator, finds the partner
+    bias under any separator — both case-insensitively, since the
+    dishonest server chooses the key spelling — and normalizes a
+    transposed weight (bias length equal to the column count) so a layer
+    stored as ``(d, n)`` instead of ``(n, d)`` cannot escape inspection.
+    """
+    by_lowered: dict[str, np.ndarray] = {}
     for name, value in state.items():
-        if not name.endswith(".weight") or value.ndim != 2:
+        by_lowered.setdefault(name.lower(), value)
+    for name, value in state.items():
+        value = np.asarray(value)
+        if value.ndim != 2:
             continue
-        bias_name = name[: -len(".weight")] + ".bias"
-        bias = state.get(bias_name)
-        if bias is not None and bias.ndim == 1 and bias.shape[0] == value.shape[0]:
-            yield name[: -len(".weight")], value, bias
+        for bias_name in _bias_key_candidates(name):
+            bias = by_lowered.get(bias_name)
+            if bias is None:
+                continue
+            bias = np.asarray(bias)
+            if bias.ndim != 1:
+                continue
+            if bias.shape[0] == value.shape[0]:
+                yield name, value, bias
+                break
+            if bias.shape[0] == value.shape[1]:
+                yield name, value.T, bias
+                break
 
 
 def _colinear_row_fraction(weight: np.ndarray, tolerance: float = 1e-6) -> float:
@@ -76,6 +138,10 @@ def inspect_state(
     colinear_threshold: float = 0.9,
     sparse_activation_threshold: float = 0.1,
     sparse_neuron_fraction: float = 0.9,
+    zero_row_fraction: float = 0.2,
+    disabled_bias_threshold: float = -1e3,
+    rate_band_ceiling: float = 0.45,
+    rate_band_spread: float = 0.08,
     min_neurons: int = 16,
 ) -> DetectionReport:
     """Scan a broadcast model state for imprint-attack signatures.
@@ -87,8 +153,19 @@ def inspect_state(
     probe_inputs:
         Optional (num_probes, ...) array of the client's *own* samples.
         When given, fully-connected layers whose input width matches the
-        flattened probe width are additionally checked for the CAH
-        trap-weight signature (implausibly sparse activations).
+        flattened probe width are additionally checked for the CAH/QBI
+        trap-weight signatures (implausibly sparse or implausibly uniform
+        activation rates).
+    zero_row_fraction / disabled_bias_threshold:
+        LOKI signature: at least this fraction of rows exactly zero, each
+        with a bias below the threshold (a neuron that can never fire).
+    rate_band_ceiling / rate_band_spread:
+        QBI signature: at least ``sparse_neuron_fraction`` of probed
+        activation rates at or below the ceiling with a standard
+        deviation below the spread — rates tuned to one shared quantile.
+        The default ceiling (0.45) catches every ``expected_batch_size
+        >= 3``; rates pinned at 0.5 (B=2) are left alone by design (see
+        the module docstring).
     """
     findings: list[str] = []
     flat_probes = None
@@ -107,6 +184,17 @@ def inspect_state(
                 "monotone biases (RTF-style quantile imprint)"
             )
             continue
+        row_norms = np.linalg.norm(weight, axis=1)
+        zero_rows = row_norms == 0.0
+        disabled = zero_rows & (bias < disabled_bias_threshold)
+        dead_fraction = float(np.mean(disabled))
+        if zero_row_fraction <= dead_fraction < 1.0:
+            findings.append(
+                f"{layer}: {100 * dead_fraction:.0f}% exactly-zero weight "
+                "rows with disabling biases next to a live block "
+                "(LOKI-style per-client imprint blocks)"
+            )
+            continue
         if flat_probes is not None and weight.shape[1] == flat_probes.shape[1]:
             rates = ((flat_probes @ weight.T + bias) > 0.0).mean(axis=0)
             sparse = float(np.mean(rates < sparse_activation_threshold))
@@ -115,5 +203,18 @@ def inspect_state(
                     f"{layer}: {100 * sparse:.0f}% of neurons fire for <"
                     f"{100 * sparse_activation_threshold:.0f}% of local data "
                     "(CAH-style trap weights)"
+                )
+                continue
+            banded = float(np.mean(rates <= rate_band_ceiling))
+            spread = float(rates.std())
+            if (
+                banded >= sparse_neuron_fraction
+                and spread <= rate_band_spread
+                and float(rates.mean()) > 0.0
+            ):
+                findings.append(
+                    f"{layer}: activation rates pinned to a "
+                    f"{100 * rate_band_ceiling:.0f}%-band with spread "
+                    f"{spread:.3f} (QBI-style quantile-tuned trap biases)"
                 )
     return DetectionReport(suspicious=bool(findings), findings=findings)

@@ -15,10 +15,9 @@ from typing import Optional
 import numpy as np
 
 from repro.attacks.base import ReconstructionResult
-from repro.attacks.cah import CAHAttack
 from repro.attacks.imprint import ImprintedModel
 from repro.attacks.linear import LinearClassifier, LinearModelInversion
-from repro.attacks.rtf import RTFAttack
+from repro.attacks.registry import make_attack as registry_make_attack
 from repro.data.loaders import class_balanced_batch
 from repro.data.synthetic import SyntheticImageDataset
 from repro.defense.base import ClientDefense, NoDefense
@@ -51,16 +50,18 @@ def make_attack(
     num_neurons: int,
     public_images: np.ndarray,
     seed: int = 0,
+    **knobs,
 ):
-    """Factory for the paper's two imprint attacks, calibrated on public data."""
-    if name == "rtf":
-        attack = RTFAttack(num_neurons)
-    elif name == "cah":
-        attack = CAHAttack(num_neurons, seed=seed)
-    else:
-        raise ValueError(f"unknown attack {name!r}; expected 'rtf' or 'cah'")
-    attack.calibrate_from_public_data(public_images)
-    return attack
+    """Build a calibrated attack from the zoo (any registered name).
+
+    Thin delegate to :func:`repro.attacks.registry.make_attack`, kept here
+    because every per-figure harness historically imported it from this
+    module.  Unknown names raise
+    :class:`~repro.attacks.registry.UnknownAttackError` (a ``ValueError``).
+    """
+    return registry_make_attack(
+        name, num_neurons, public_images, seed=seed, **knobs
+    )
 
 
 def defense_from_name(name: str) -> ClientDefense:

@@ -43,10 +43,19 @@ The expected headline shape (paper Fig. 5): for each scenario, the
 (attack, no-defense) cell's mean PSNR strictly exceeds the (attack, MR)
 cell's — reproduced by :func:`headline_ordering_holds`.
 
+The attack axis resolves through the pluggable registry
+(:mod:`repro.attacks.registry`): any registered name works, the cell's
+global model follows the attack's declared family (imprint vs linear),
+and aggregate-reconstructing attacks (LOKI) ride the dishonest server's
+per-client crafting hooks transparently.
+
 Run a sweep from the command line::
 
     PYTHONPATH=src python -m repro.experiments.sweep \
         --grid smoke --workers 4 --store sweep.json
+    # the whole attack zoo:
+    PYTHONPATH=src python -m repro.experiments.sweep \
+        --grid smoke --attacks rtf,cah,linear,qbi,loki --workers 2
     # interrupted? finish the remaining cells:
     PYTHONPATH=src python -m repro.experiments.sweep \
         --grid smoke --workers 4 --store sweep.json --resume
@@ -74,9 +83,14 @@ from repro.data.synthetic import (
     make_synthetic_dataset,
     synthetic_cifar100,
 )
+from repro.attacks.registry import (
+    UnknownAttackError,
+    attack_spec,
+    available_attacks,
+    make_attack,
+)
 from repro.defense.oasis import OasisDefense
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import make_attack
 from repro.fl.simulator import FederatedSimulation, FederationConfig
 from repro.metrics.psnr import match_reconstructions
 from repro.utils.checkpoint import atomic_write_text
@@ -679,6 +693,8 @@ class SweepRunner:
         ):
             if len(axis) != len(set(axis)):
                 raise ValueError(f"duplicate {axis_label} in {axis}")
+        for name in attacks:
+            attack_spec(name)  # fail fast on unknown attacks, not per cell
         self.dataset = dataset
         self.attacks = tuple(attacks)
         self.defenses = tuple(defenses)
@@ -765,11 +781,29 @@ class SweepRunner:
         """
         return derive_seed(self.seed, self.store_key(cell))
 
-    def _model_factory(self, seed: int):
-        from repro.attacks.imprint import ImprintedModel
+    def _model_factory(self, seed: int, attack_name: str):
+        """Global-model factory matching the attack's declared target.
 
+        Imprint-family attacks get the malicious-layer
+        :class:`~repro.attacks.imprint.ImprintedModel`; the linear
+        inversion runs against the paper's single-layer classifier.
+        """
         dataset = self.dataset
         num_neurons = self.num_neurons
+        model_kind = attack_spec(attack_name).model
+
+        if model_kind == "linear":
+            from repro.attacks.linear import LinearClassifier
+
+            def factory():
+                return LinearClassifier(
+                    dataset.image_shape,
+                    dataset.num_classes,
+                    rng=np.random.default_rng(seed + 1),
+                )
+
+            return factory
+        from repro.attacks.imprint import ImprintedModel
 
         def factory():
             return ImprintedModel(
@@ -794,7 +828,7 @@ class SweepRunner:
         defense = None if cell.defense == "WO" else OasisDefense(cell.defense)
         simulation = FederatedSimulation(
             self.dataset,
-            self._model_factory(seed),
+            self._model_factory(seed, cell.attack),
             scenario.to_config(self.batch_size, seed),
             defense=defense,
             attack=attack,
@@ -965,14 +999,16 @@ def scenario_to_dict(scenario: ParticipationScenario) -> dict:
 # --------------------------------------------------------------------------
 
 
-def _smoke_runner(seed: int, rounds: int, store) -> SweepRunner:
+def _smoke_runner(
+    seed: int, rounds: int, store, attacks: Optional[Sequence[str]] = None
+) -> SweepRunner:
     """2-cell sanity grid: rtf x (WO, MR) x full participation, seconds."""
     dataset = make_synthetic_dataset(
         4, 12, image_size=8, seed=3, name="smoke-grid"
     )
     return SweepRunner(
         dataset,
-        attacks=("rtf",),
+        attacks=attacks or ("rtf",),
         defenses=("WO", "MR"),
         scenarios=(ParticipationScenario("full", num_clients=2),),
         batch_size=3,
@@ -984,14 +1020,16 @@ def _smoke_runner(seed: int, rounds: int, store) -> SweepRunner:
     )
 
 
-def _default_runner(seed: int, rounds: int, store) -> SweepRunner:
+def _default_runner(
+    seed: int, rounds: int, store, attacks: Optional[Sequence[str]] = None
+) -> SweepRunner:
     """8-cell working grid: rtf x 4 suites x 2 participation shapes."""
     dataset = make_synthetic_dataset(
         6, 16, image_size=16, seed=5, name="default-grid"
     )
     return SweepRunner(
         dataset,
-        attacks=("rtf",),
+        attacks=attacks or ("rtf",),
         defenses=("WO", "MR", "SH", "MR+SH"),
         scenarios=DEFAULT_SCENARIOS[:2],
         batch_size=4,
@@ -1003,11 +1041,13 @@ def _default_runner(seed: int, rounds: int, store) -> SweepRunner:
     )
 
 
-def _acceptance_runner(seed: int, rounds: int, store) -> SweepRunner:
+def _acceptance_runner(
+    seed: int, rounds: int, store, attacks: Optional[Sequence[str]] = None
+) -> SweepRunner:
     """The 24-cell acceptance grid on the CIFAR100 stand-in (minutes)."""
     return SweepRunner(
         synthetic_cifar100(samples_per_class=2, seed=2002),
-        attacks=("rtf", "cah"),
+        attacks=attacks or ("rtf", "cah"),
         defenses=("WO", "MR", "SH", "MR+SH"),
         scenarios=DEFAULT_SCENARIOS[:3],
         batch_size=4,
@@ -1067,11 +1107,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "results are never mixed in silently"
         ),
     )
+    parser.add_argument(
+        "--attacks",
+        default=None,
+        help=(
+            "comma-separated attack names overriding the preset's attack "
+            f"axis; registered: {', '.join(available_attacks())}"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
     parser.add_argument(
         "--rounds", type=int, default=1, help="federation rounds per cell"
     )
     args = parser.parse_args(argv)
+
+    attacks: Optional[tuple[str, ...]] = None
+    if args.attacks is not None:
+        attacks = tuple(
+            name.strip() for name in args.attacks.split(",") if name.strip()
+        )
+        if not attacks:
+            parser.error("--attacks must name at least one attack")
+        if len(set(attacks)) != len(attacks):
+            parser.error(f"--attacks lists a name twice: {', '.join(attacks)}")
+        for name in attacks:
+            try:
+                attack_spec(name)
+            except UnknownAttackError as error:
+                parser.error(str(error))
 
     store_path = args.store or Path(f"sweep_{args.grid}.json")
     shard_dir = SweepStore.shard_directory_for(store_path)
@@ -1083,7 +1146,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "it, or point --store elsewhere"
         )
     runner = GRID_PRESETS[args.grid](
-        seed=args.seed, rounds=args.rounds, store=store_path
+        seed=args.seed, rounds=args.rounds, store=store_path, attacks=attacks
     )
 
     def report(event: CellEvent) -> None:

@@ -98,6 +98,20 @@ class Server:
         """Hook called with raw client updates; honest servers do nothing."""
         return []
 
+    def broadcast_to(
+        self, client: Client, broadcast: ModelBroadcast
+    ) -> ModelBroadcast:
+        """Per-client broadcast hook; honest servers send everyone the same
+        state.  A dishonest subclass can substitute client-customized
+        parameters here (the LOKI-style per-client model manipulation)."""
+        return broadcast
+
+    def inspect_aggregate(
+        self, aggregated: dict[str, np.ndarray]
+    ) -> list[dict]:
+        """Hook called with the round's aggregate; honest servers do nothing."""
+        return []
+
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
@@ -151,8 +165,14 @@ class Server:
         broadcast = self.prepare_broadcast()
         selected = self.select_clients()
         active, dropped, stragglers = self.simulate_participation(selected)
-        updates = [client.local_update(broadcast) for client in active]
-        late = [client.local_update(broadcast) for client in stragglers]
+        updates = [
+            client.local_update(self.broadcast_to(client, broadcast))
+            for client in active
+        ]
+        late = [
+            client.local_update(self.broadcast_to(client, broadcast))
+            for client in stragglers
+        ]
         attack_events = self.inspect_updates(updates + late)
         stale = self._stale_updates if self.accept_stale else []
         self._stale_updates = late
@@ -169,6 +189,7 @@ class Server:
             aggregated = self.aggregator.aggregate_buffer(buffer, weights)
             self.apply_aggregate(aggregated)
             self.last_aggregate = aggregated
+            attack_events = attack_events + self.inspect_aggregate(aggregated)
         else:
             self.last_aggregate = None
         record = RoundRecord(
@@ -208,6 +229,18 @@ class DishonestServer(Server):
     :meth:`round_reconstructions` for everything captured in one round.
     All honest-server scenario knobs (sampling, dropout, stragglers,
     aggregator) pass through ``**server_kwargs``.
+
+    Large-scale attacks opt into two further hooks through class
+    attributes on the attack object:
+
+    - ``per_client_crafting`` — the attack's :meth:`craft_for_client` is
+      called per participant, so each client receives its own manipulated
+      parameters (LOKI's per-client-disjoint neuron blocks).  The fleet's
+      ids are handed to ``attack.assign_clients`` once, at construction.
+    - ``reconstructs_from_aggregate`` — per-update inversion is skipped
+      and the attack inverts the round's FedAvg *aggregate* instead
+      (``reconstruct_per_client``), the regime where secure aggregation
+      alone does not protect individual updates.
     """
 
     def __init__(
@@ -222,16 +255,46 @@ class DishonestServer(Server):
         self.attack = attack
         self.target_client_id = target_client_id
         self.reconstructions: dict[tuple[int, int], ReconstructionResult] = {}
+        if hasattr(attack, "assign_clients"):
+            attack.assign_clients([client.client_id for client in self.clients])
 
     def prepare_broadcast(self) -> ModelBroadcast:
-        """Craft the malicious model, then broadcast it as if honest."""
-        self.attack.craft(self.model)
+        """Craft the malicious model, then broadcast it as if honest.
+
+        Per-client-crafting attacks skip the shared craft entirely: every
+        delivered broadcast is rebuilt in :meth:`broadcast_to`, so a union
+        craft here would be paid each round and then discarded.
+        """
+        if not getattr(self.attack, "per_client_crafting", False):
+            self.attack.craft(self.model)
         return ModelBroadcast(
             round_index=self.round_index, state=self.model.state_dict()
         )
 
+    def broadcast_to(
+        self, client: Client, broadcast: ModelBroadcast
+    ) -> ModelBroadcast:
+        """Substitute client-customized parameters when the attack asks.
+
+        ``state_dict`` snapshots copies, so re-crafting the server model
+        for the next client never mutates an already-dispatched broadcast.
+        """
+        if not getattr(self.attack, "per_client_crafting", False):
+            return broadcast
+        self.attack.craft_for_client(self.model, client.client_id)
+        return ModelBroadcast(
+            round_index=broadcast.round_index, state=self.model.state_dict()
+        )
+
     def inspect_updates(self, updates: list[GradientUpdate]) -> list[dict]:
-        """Invert every targeted update that reaches the server this round."""
+        """Invert every targeted update that reaches the server this round.
+
+        Aggregate-reconstructing attacks skip this path entirely: their
+        whole point is that the server never needs the individual updates
+        (it may not even see them under secure aggregation).
+        """
+        if getattr(self.attack, "reconstructs_from_aggregate", False):
+            return []
         events = []
         for update in updates:
             targeted = (
@@ -248,6 +311,34 @@ class DishonestServer(Server):
                     "client_id": update.client_id,
                     "num_reconstructions": len(result),
                     "attack": self.attack.name,
+                }
+            )
+        return events
+
+    def inspect_aggregate(
+        self, aggregated: dict[str, np.ndarray]
+    ) -> list[dict]:
+        """Invert the round's aggregate for attacks that reconstruct there."""
+        if not getattr(self.attack, "reconstructs_from_aggregate", False):
+            return []
+        events = []
+        per_client = self.attack.reconstruct_per_client(aggregated)
+        for client_id in sorted(per_client):
+            targeted = (
+                self.target_client_id is None
+                or client_id == self.target_client_id
+            )
+            if not targeted:
+                continue
+            result = per_client[client_id]
+            self.reconstructions[(self.round_index, client_id)] = result
+            events.append(
+                {
+                    "round": self.round_index,
+                    "client_id": client_id,
+                    "num_reconstructions": len(result),
+                    "attack": self.attack.name,
+                    "from_aggregate": True,
                 }
             )
         return events

@@ -112,6 +112,78 @@ class TestReconstruction:
             }
         )
         assert len(result) == 0
+        assert result.reason == "no trap neuron fired"
+
+
+class TestDegenerateCalibration:
+    """Guards for public data that makes quantile tuning meaningless.
+
+    Regression: these inputs used to flow straight into the quantile
+    placement and produce biases where every neuron fires (or none do),
+    so reconstruct() emitted batch-mean garbage or raised deep inside
+    numpy.  Now craft() disarms the layer and reconstruct() returns an
+    empty result with a structured reason.
+    """
+
+    def degenerate_attack(self, cifar_like, public):
+        attack = CAHAttack(32, seed=3)
+        attack.calibrate_from_public_data(public)
+        model = ImprintedModel(cifar_like.image_shape, 32, cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack.craft(model)
+        return model, attack
+
+    def run_round(self, model, attack, cifar_like, rng):
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(
+            model, CrossEntropyLoss(), images, labels
+        )
+        return attack.reconstruct(grads)
+
+    def test_identical_public_samples(self, cifar_like, rng):
+        # A "batch" of one image repeated: zero projection spread, so the
+        # empirical quantile pins every bias to the single observed value.
+        public = np.repeat(cifar_like.images[:1], 16, axis=0)
+        model, attack = self.degenerate_attack(cifar_like, public)
+        result = self.run_round(model, attack, cifar_like, rng)
+        assert len(result) == 0
+        assert "degenerate trap calibration" in result.reason
+        # The disarmed layer is inert, not malformed.
+        weight, bias = model.imprint_parameters()
+        assert np.all(weight == 0.0)
+        assert np.all(np.isfinite(bias))
+
+    def test_non_finite_public_data(self, cifar_like, rng):
+        public = cifar_like.images[:16].copy()
+        public[3, 0, 0, 0] = np.nan
+        model, attack = self.degenerate_attack(cifar_like, public)
+        result = self.run_round(model, attack, cifar_like, rng)
+        assert len(result) == 0
+        assert "non-finite" in result.reason
+
+    def test_every_trap_firing_returns_reasoned_empty(self, cifar_like):
+        # All-positive bias gradients on every neuron: each trap caught
+        # the whole batch, so each inversion is the same batch mean.
+        attack = CAHAttack(32, seed=3)
+        attack.calibrate_from_public_data(cifar_like.images[:64])
+        model = ImprintedModel(cifar_like.image_shape, 32, cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack.craft(model)
+        grads = {
+            "imprint.weight": np.ones(model.imprint.weight.shape),
+            "imprint.bias": np.full(model.imprint.bias.shape, 0.5),
+        }
+        result = attack.reconstruct(grads)
+        assert len(result) == 0
+        assert "near-total activation" in result.reason
+
+    def test_healthy_calibration_unaffected(self, cifar_like, rng):
+        model, attack = self.degenerate_attack(
+            cifar_like, cifar_like.images[:64]
+        )
+        result = self.run_round(model, attack, cifar_like, rng)
+        assert attack._calibration_reason is None
+        assert result.reason is None or len(result) == 0
 
 
 class TestAgainstOasis:

@@ -1,0 +1,177 @@
+"""The pluggable attack zoo: registration, factories, round-trips, detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackKnob,
+    AttackRegistryError,
+    AttackSpec,
+    DuplicateAttackError,
+    ImprintedModel,
+    LinearClassifier,
+    UnknownAttackError,
+    attack_spec,
+    available_attacks,
+    make_attack,
+    register_attack,
+    unregister_attack,
+)
+from repro.defense import inspect_state
+from repro.fl import compute_batch_gradients
+from repro.nn import CrossEntropyLoss, LogisticLoss
+
+BUILTIN_ATTACKS = ("rtf", "cah", "linear", "qbi", "loki")
+NUM_NEURONS = 96
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTIN_ATTACKS) <= set(available_attacks())
+
+    def test_unknown_name_raises_with_available_list(self):
+        with pytest.raises(UnknownAttackError) as excinfo:
+            attack_spec("definitely-not-an-attack")
+        message = str(excinfo.value)
+        for name in BUILTIN_ATTACKS:
+            assert name in message
+
+    def test_unknown_attack_error_is_a_value_error(self):
+        # The per-figure harnesses historically caught ValueError.
+        with pytest.raises(ValueError):
+            make_attack("nope", 8, None)
+
+    def test_duplicate_registration_refused(self):
+        spec = AttackSpec(name="dup_test", factory=lambda *a, **k: None)
+        register_attack(spec)
+        try:
+            with pytest.raises(DuplicateAttackError):
+                register_attack(spec)
+            # ... unless replacement is explicit.
+            register_attack(spec, replace=True)
+        finally:
+            unregister_attack("dup_test")
+        assert "dup_test" not in available_attacks()
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UnknownAttackError):
+            unregister_attack("never_registered")
+
+    def test_invalid_name_refused(self):
+        with pytest.raises(AttackRegistryError):
+            register_attack(AttackSpec(name="", factory=lambda *a: None))
+        with pytest.raises(AttackRegistryError):
+            register_attack(AttackSpec(name="bad name", factory=lambda *a: None))
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(AttackRegistryError, match="declared knobs"):
+            make_attack("rtf", 8, None, not_a_knob=3)
+
+    def test_declared_knobs_pass_through(self, cifar_like):
+        attack = make_attack(
+            "cah", 32, cifar_like.images[:64], activation_probability=0.07
+        )
+        assert attack.activation_probability == pytest.approx(0.07)
+
+    def test_specs_declare_model_family(self):
+        assert attack_spec("linear").model == "linear"
+        assert not attack_spec("linear").crafts_model
+        for name in ("rtf", "cah", "qbi", "loki"):
+            assert attack_spec(name).model == "imprint"
+            assert attack_spec(name).crafts_model
+
+    def test_every_spec_has_description_and_knob_docs(self):
+        for name in BUILTIN_ATTACKS:
+            spec = attack_spec(name)
+            assert spec.description
+            for knob in spec.knobs:
+                assert isinstance(knob, AttackKnob)
+                assert knob.description
+
+
+class TestRoundTrips:
+    """Every registered attack survives craft -> client gradients -> reconstruct."""
+
+    @pytest.fixture
+    def batch(self, tiny_dataset, rng):
+        return tiny_dataset.sample_batch(4, rng)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in BUILTIN_ATTACKS if n != "linear"]
+    )
+    def test_imprint_attacks_round_trip(self, name, tiny_dataset, batch):
+        images, labels = batch
+        attack = make_attack(
+            name, NUM_NEURONS, tiny_dataset.images[:96], seed=3
+        )
+        model = ImprintedModel(
+            tiny_dataset.image_shape,
+            NUM_NEURONS,
+            tiny_dataset.num_classes,
+            rng=np.random.default_rng(17),
+        )
+        attack.craft(model)
+        gradients, _ = compute_batch_gradients(
+            model, CrossEntropyLoss(), images, labels
+        )
+        result = attack.reconstruct(gradients)
+        assert len(result) >= 1, f"{name} recovered nothing from 4 images"
+        assert result.images.shape[1:] == tiny_dataset.image_shape
+        assert np.all(np.isfinite(result.images))
+        assert result.occupancy is not None
+        assert len(result.occupancy) == len(result)
+
+    def test_linear_attack_round_trips(self, tiny_dataset, rng):
+        from repro.data.loaders import class_balanced_batch
+
+        images, labels = class_balanced_batch(
+            tiny_dataset, 4, rng, unique_labels=True
+        )
+        attack = make_attack("linear", NUM_NEURONS, None)
+        model = LinearClassifier(
+            tiny_dataset.image_shape,
+            tiny_dataset.num_classes,
+            rng=np.random.default_rng(17),
+        )
+        attack.craft(model)
+        gradients, _ = compute_batch_gradients(
+            model, LogisticLoss(), images, labels
+        )
+        result = attack.reconstruct(gradients)
+        assert len(result) >= 1
+        assert np.all(np.isfinite(result.images))
+
+
+class TestDetectionCoverage:
+    """Client-side inspection flags every model-crafting attack in the zoo."""
+
+    @pytest.mark.parametrize(
+        "name", [n for n in BUILTIN_ATTACKS if attack_spec(n).crafts_model]
+    )
+    def test_crafted_state_is_flagged(self, name, cifar_like):
+        attack = make_attack(name, 100, cifar_like.images[:100], seed=1)
+        model = ImprintedModel(
+            cifar_like.image_shape, 100, cifar_like.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        if getattr(attack, "per_client_crafting", False):
+            attack.assign_clients([0, 1, 2, 3])
+            attack.craft_for_client(model, 1)
+        else:
+            attack.craft(model)
+        report = inspect_state(
+            model.state_dict(), probe_inputs=cifar_like.images[:64]
+        )
+        assert report.suspicious, f"{name} crafted state escaped detection"
+
+    def test_clean_model_still_passes(self, cifar_like):
+        model = ImprintedModel(
+            cifar_like.image_shape, 100, cifar_like.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        report = inspect_state(
+            model.state_dict(), probe_inputs=cifar_like.images[:64]
+        )
+        assert not report.suspicious, report.findings

@@ -112,6 +112,70 @@ class TestReconstruction:
         }
         result = attack.reconstruct(zero_grads)
         assert len(result) == 0
+        assert result.reason == "no occupied measurement bin"
+
+    def test_occupancy_reports_raw_bin_mass(self, crafted, cifar_like, rng):
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        result = attack.reconstruct(grads)
+        bias_grad = grads["imprint.bias"]
+        bias_diff = bias_grad[:-1] - bias_grad[1:]
+        assert result.occupancy is not None
+        np.testing.assert_allclose(
+            result.occupancy, bias_diff[result.neuron_indices]
+        )
+
+    def test_near_empty_bin_amplification_is_clamped(self, cifar_like):
+        # Regression: a bin whose bias-gradient difference sits barely
+        # above signal_tolerance used to divide by it directly, amplifying
+        # gradient noise by up to 1/tolerance into garbage pixels.  With a
+        # denominator floor the amplification is bounded at 1/floor in
+        # BOTH the clipped-images and raw paths, and occupancy still
+        # reports the raw (unclamped) bin mass.
+        floor = 1e-3
+        attack = RTFAttack(4, signal_tolerance=1e-10, denominator_floor=floor)
+        model = ImprintedModel(cifar_like.image_shape, 4, 10,
+                               rng=np.random.default_rng(0))
+        attack.craft(model)
+        d = model.flat_dim
+        noise = np.full((4, d), 1e-6)
+        weak = 1e-8  # above tolerance, below the floor
+        grads = {
+            "imprint.weight": np.cumsum(noise[::-1], axis=0)[::-1].copy(),
+            "imprint.bias": np.array([3 * weak, 2 * weak, weak, 0.0]),
+        }
+        result = attack.reconstruct(grads)
+        assert len(result) == 3
+        np.testing.assert_allclose(result.occupancy, [weak, weak, weak])
+        # Unclamped, each raw pixel would be 1e-6 / 1e-8 = 100; clamped it
+        # is 1e-6 / 1e-3 = 1e-3 — in range, no longer garbage.
+        assert np.abs(result.raw).max() <= 1e-6 / floor + 1e-12
+        np.testing.assert_allclose(
+            result.images.reshape(3, -1), result.raw.clip(0.0, 1.0)
+        )
+
+    def test_denominator_floor_below_tolerance_refused(self):
+        with pytest.raises(ValueError):
+            RTFAttack(4, signal_tolerance=1e-6, denominator_floor=1e-9)
+
+    def test_default_floor_keeps_healthy_bins_exact(self, crafted, cifar_like, rng):
+        # The default floor equals signal_tolerance, so every occupied bin
+        # divides by its true denominator — no numeric drift on the
+        # well-conditioned path.
+        model, attack = crafted
+        images, labels = cifar_like.sample_batch(4, rng)
+        grads, _ = compute_batch_gradients(model, CrossEntropyLoss(), images, labels)
+        result = attack.reconstruct(grads)
+        bias_grad = grads["imprint.bias"]
+        weight_grad = grads["imprint.weight"]
+        bias_diff = bias_grad[:-1] - bias_grad[1:]
+        weight_diff = weight_grad[:-1] - weight_grad[1:]
+        expected = (
+            weight_diff[result.neuron_indices]
+            / bias_diff[result.neuron_indices, None]
+        )
+        np.testing.assert_array_equal(result.raw, expected)
 
     def test_reconstructions_clipped_to_unit_range(self, crafted, cifar_like, rng):
         model, attack = crafted

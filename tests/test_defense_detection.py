@@ -5,8 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.attacks import CAHAttack, ImprintedModel, RTFAttack
+from repro.attacks import CAHAttack, ImprintedModel, LOKIAttack, QBIAttack, RTFAttack
 from repro.defense import inspect_state
+from repro.defense.detection import _linear_pairs
 from repro.nn import MLP
 
 
@@ -119,4 +120,136 @@ class TestDetection:
         flipped = {name: value.copy() for name, value in state.items()}
         flipped[weight_name][::2] *= -1.0
         report = inspect_state(flipped)
+        assert report.suspicious
+
+
+class TestKeyNormalization:
+    """Regression: _linear_pairs only matched `*.weight`/`*.bias` 2-D pairs,
+    so an imprint layer registered under a non-standard key (or with a
+    transposed weight) escaped inspection entirely."""
+
+    def test_imprinted_model_state_dict_pairs_found(self, cifar_like):
+        # The actual attack surface: every FC layer of the real
+        # ImprintedModel state dict must be discovered.
+        model = ImprintedModel(cifar_like.image_shape, 32, 10,
+                               rng=np.random.default_rng(0))
+        names = {name for name, _, _ in _linear_pairs(model.state_dict())}
+        assert {"imprint.weight", "decoder.weight", "head.weight"} <= names
+
+    def test_underscore_separated_keys_inspected(self, cifar_like):
+        state = crafted_state(cifar_like, "rtf")
+        renamed = {
+            name.replace("imprint.", "imprint_"): value
+            for name, value in state.items()
+        }
+        report = inspect_state(renamed)
+        assert report.suspicious
+        assert any("RTF" in finding for finding in report.findings)
+
+    def test_bare_weight_key_inspected(self, cifar_like):
+        state = crafted_state(cifar_like, "rtf")
+        bare = {"weight": state["imprint.weight"], "bias": state["imprint.bias"]}
+        assert inspect_state(bare).suspicious
+
+    def test_mixed_case_keys_inspected(self, cifar_like):
+        # The server also chooses the capitalization; "Weight"/"Bias"
+        # must not slip past a case-sensitive lookup.
+        state = crafted_state(cifar_like, "rtf")
+        cased = {
+            "imprint.Weight": state["imprint.weight"],
+            "imprint.Bias": state["imprint.bias"],
+        }
+        report = inspect_state(cased)
+        assert report.suspicious
+        assert any("RTF" in finding for finding in report.findings)
+
+    def test_mixed_separator_pair_inspected(self, cifar_like):
+        # Weight and bias registered under different separators.
+        state = crafted_state(cifar_like, "rtf")
+        mixed = {
+            "imprint_weight": state["imprint.weight"],
+            "imprint.bias": state["imprint.bias"],
+        }
+        assert inspect_state(mixed).suspicious
+
+    def test_transposed_weight_inspected(self, cifar_like):
+        state = crafted_state(cifar_like, "rtf")
+        transposed = {
+            name: value.copy() for name, value in state.items()
+            if not name.startswith("imprint.")
+        }
+        transposed["imprint.weight"] = state["imprint.weight"].T.copy()
+        transposed["imprint.bias"] = state["imprint.bias"].copy()
+        report = inspect_state(transposed)
+        assert report.suspicious
+        assert any("RTF" in finding for finding in report.findings)
+
+
+class TestZooSignatures:
+    def qbi_state(self, cifar_like):
+        model = ImprintedModel(cifar_like.image_shape, 100,
+                               cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack = QBIAttack(100, expected_batch_size=8, seed=1)
+        attack.calibrate_from_public_data(cifar_like.images[:100])
+        attack.craft(model)
+        return model.state_dict()
+
+    def test_qbi_flagged_with_probes(self, cifar_like):
+        report = inspect_state(
+            self.qbi_state(cifar_like), probe_inputs=cifar_like.images[:64]
+        )
+        assert report.suspicious
+        assert any("QBI" in finding for finding in report.findings)
+
+    @pytest.mark.parametrize("batch_size", [3, 4, 8, 16])
+    def test_qbi_flagged_across_batch_sizes(self, cifar_like, batch_size):
+        # The rate band must cover every legal tuning with p* < 0.5, not
+        # just the default B=8.
+        model = ImprintedModel(cifar_like.image_shape, 100,
+                               cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack = QBIAttack(100, expected_batch_size=batch_size, seed=1)
+        attack.calibrate_from_public_data(cifar_like.images[:100])
+        attack.craft(model)
+        report = inspect_state(
+            model.state_dict(), probe_inputs=cifar_like.images[:64]
+        )
+        assert report.suspicious, f"QBI B={batch_size} escaped detection"
+        # Large B pushes p* below the CAH sparsity threshold, where the
+        # (accurate) CAH-style label fires first; either trap-weight
+        # finding counts as detection.
+        assert any(
+            "QBI" in finding or "CAH" in finding
+            for finding in report.findings
+        )
+
+    def test_qbi_without_probes_not_detectable(self, cifar_like):
+        # Like CAH, QBI trap weights are structurally random: only a
+        # probe with local data exposes the pinned activation rates.
+        assert not inspect_state(self.qbi_state(cifar_like)).suspicious
+
+    def test_loki_per_client_model_flagged_structurally(self, cifar_like):
+        model = ImprintedModel(cifar_like.image_shape, 100,
+                               cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack = LOKIAttack(100, seed=1)
+        attack.calibrate_from_public_data(cifar_like.images[:100])
+        attack.assign_clients([0, 1, 2, 3])
+        attack.craft_for_client(model, 1)
+        # No probes needed: zero rows with disabling biases are structural.
+        report = inspect_state(model.state_dict())
+        assert report.suspicious
+        assert any("LOKI" in finding for finding in report.findings)
+
+    def test_loki_union_model_flagged_via_probes(self, cifar_like):
+        model = ImprintedModel(cifar_like.image_shape, 100,
+                               cifar_like.num_classes,
+                               rng=np.random.default_rng(0))
+        attack = LOKIAttack(100, seed=1)
+        attack.calibrate_from_public_data(cifar_like.images[:100])
+        attack.craft(model)
+        report = inspect_state(
+            model.state_dict(), probe_inputs=cifar_like.images[:64]
+        )
         assert report.suspicious

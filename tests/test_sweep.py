@@ -258,7 +258,8 @@ class TestHarnessParallelAndFailures:
             neuron_counts=(32,), num_trials=1,
         )
         assert np.isnan(result.grid[0, 0])
-        assert result.errors[(32, 3)]["type"] == "ValueError"
+        # The registry's unknown-name error (a ValueError subclass).
+        assert result.errors[(32, 3)]["type"] == "UnknownAttackError"
         # An all-NaN column yields no optimum rather than a NaN winner.
         assert result.optima == {}
 

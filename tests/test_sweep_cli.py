@@ -73,3 +73,70 @@ def test_every_preset_builds_a_runner(tmp_path):
     for name, build in GRID_PRESETS.items():
         runner = build(seed=0, rounds=1, store=tmp_path / f"{name}.json")
         assert len(runner.cells()) >= 2
+
+
+def test_attacks_flag_runs_the_whole_zoo(tmp_path, capsys):
+    store = tmp_path / "zoo.json"
+    exit_code = main([
+        "--grid", "smoke",
+        "--attacks", "rtf,cah,linear,qbi,loki",
+        "--store", str(store),
+    ])
+    assert exit_code == 0
+    cells = json.loads(store.read_text())["cells"]
+    assert len(cells) == 10  # 5 attacks x (WO, MR) x full participation
+    attacks = {key.split("|")[0] for key in cells}
+    assert attacks == {"rtf", "cah", "linear", "qbi", "loki"}
+    assert "10 computed" in capsys.readouterr().out
+
+
+def test_attacks_flag_serial_parallel_stores_identical(tmp_path):
+    serial, parallel = tmp_path / "s.json", tmp_path / "p.json"
+    args = ["--grid", "smoke", "--attacks", "rtf,qbi,loki"]
+    assert main(args + ["--store", str(serial)]) == 0
+    assert main(args + ["--store", str(parallel), "--workers", "2"]) == 0
+    assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_unknown_attack_name_is_a_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "--grid", "smoke",
+            "--attacks", "rtf,nope",
+            "--store", str(tmp_path / "x.json"),
+        ])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "nope" in err and "registered attacks" in err
+
+
+def test_duplicate_attack_name_is_a_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "--grid", "smoke",
+            "--attacks", "rtf,rtf",
+            "--store", str(tmp_path / "x.json"),
+        ])
+    assert excinfo.value.code == 2
+    assert "twice" in capsys.readouterr().err
+
+
+def test_empty_attacks_flag_is_a_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "--grid", "smoke",
+            "--attacks", " , ",
+            "--store", str(tmp_path / "x.json"),
+        ])
+    assert excinfo.value.code == 2
+    assert "at least one attack" in capsys.readouterr().err
+
+
+def test_every_preset_accepts_attack_override(tmp_path):
+    for name, build in GRID_PRESETS.items():
+        runner = build(
+            seed=0, rounds=1,
+            store=tmp_path / f"{name}_override.json",
+            attacks=("qbi", "loki"),
+        )
+        assert runner.attacks == ("qbi", "loki")

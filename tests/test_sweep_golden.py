@@ -31,10 +31,13 @@ REL_TOLERANCE = 1e-6
 
 
 def golden_runner(store=None):
-    """The frozen 4-cell grid the snapshots were generated from.
+    """The frozen 20-cell grid the snapshots were generated from.
 
-    Changing anything here invalidates the snapshots — regenerate them in
-    the same commit.
+    The attack axis covers the whole zoo — every registered attack runs
+    through the full dishonest-server protocol with fingerprint-keyed
+    seeds, so numeric drift in *any* attack's gradient algebra fails
+    here.  Changing anything in this grid invalidates the snapshots —
+    regenerate them in the same commit.
     """
     from repro.data import make_synthetic_dataset
     from repro.experiments import ParticipationScenario, SweepRunner
@@ -44,7 +47,7 @@ def golden_runner(store=None):
     )
     return SweepRunner(
         dataset,
-        attacks=("rtf",),
+        attacks=("rtf", "cah", "linear", "qbi", "loki"),
         defenses=("WO", "MR"),
         scenarios=(
             ParticipationScenario("full", num_clients=2),
@@ -71,21 +74,41 @@ def test_golden_files_exist():
     assert TABLE_PATH.is_file()
 
 
-def test_per_cell_results_match_golden(outcome):
+def drift_from_golden(results: dict) -> list[str]:
+    """Tolerance-aware comparison of cell results to the committed snapshot.
+
+    The single definition of "golden drift", shared by the pytest suite
+    and the CI ``--check`` gate: missing/extra cells, changed result
+    fields, non-float mismatches, and float differences beyond
+    ``REL_TOLERANCE`` (relative, with a 1e-9 absolute floor so zeros
+    compare sanely).  Returns human-readable problem strings; empty means
+    clean.
+    """
     golden = json.loads(CELLS_PATH.read_text())["cells"]
-    assert sorted(outcome.results) == sorted(golden), (
-        "grid shape changed; regenerate the golden files if intended"
-    )
+    if sorted(results) != sorted(golden):
+        return [f"grid shape drifted: {sorted(results)} != {sorted(golden)}"]
+    problems: list[str] = []
     for key, expected in golden.items():
-        actual = outcome.results[key]
-        assert sorted(actual) == sorted(expected), f"result fields changed in {key}"
+        actual = results[key]
+        if sorted(actual) != sorted(expected):
+            problems.append(f"result fields drifted in {key}")
+            continue
         for field, value in expected.items():
             if isinstance(value, float):
-                assert actual[field] == pytest.approx(
-                    value, rel=REL_TOLERANCE, abs=1e-9
-                ), f"numeric drift in {key}.{field}"
-            else:
-                assert actual[field] == value, f"drift in {key}.{field}"
+                tolerance = max(REL_TOLERANCE * abs(value), 1e-9)
+                if abs(actual[field] - value) > tolerance:
+                    problems.append(
+                        f"{key}.{field}: {actual[field]!r} != {value!r}"
+                    )
+            elif actual[field] != value:
+                problems.append(f"{key}.{field}: {actual[field]!r} != {value!r}")
+    return problems
+
+
+def test_per_cell_results_match_golden(outcome):
+    assert drift_from_golden(outcome.results) == [], (
+        "regenerate the golden files if the change is intended"
+    )
 
 
 def test_table_matches_golden(outcome):
@@ -96,6 +119,26 @@ def test_golden_grid_still_shows_headline_ordering(outcome):
     from repro.experiments import headline_ordering_holds
 
     assert headline_ordering_holds(outcome)
+
+
+def test_every_zoo_attack_present_in_golden_grid(outcome):
+    from repro.attacks import available_attacks
+
+    covered = {result["attack"] for result in outcome.results.values()}
+    assert covered == set(available_attacks()), (
+        "the golden grid must cover the whole attack zoo; extend "
+        "golden_runner and regenerate when registering a new attack"
+    )
+
+
+def test_parallel_executor_reproduces_golden_cells(tmp_path):
+    # The zoo's fingerprint-keyed seeding must make a 2-worker run land on
+    # exactly the frozen snapshots — not merely match a serial run.
+    from repro.experiments import ParallelSweepExecutor
+
+    store_path = tmp_path / "golden_parallel.json"
+    outcome = golden_runner(store=store_path).run(ParallelSweepExecutor(2))
+    assert drift_from_golden(outcome.results) == []
 
 
 def regenerate() -> None:
@@ -109,5 +152,32 @@ def regenerate() -> None:
     print(f"wrote {CELLS_PATH}\nwrote {TABLE_PATH}")
 
 
+def check() -> int:
+    """Verify the committed snapshots match a fresh run, with tolerance.
+
+    The CI regeneration-cleanliness gate: catches a grid or code change
+    whose snapshots were not regenerated, using the same
+    :func:`drift_from_golden` definition as the pytest suite rather than
+    byte equality, which cross-host BLAS/numpy differences make too
+    brittle.  Returns a process exit code.
+    """
+    problems = drift_from_golden(golden_runner().run().results)
+    for problem in problems:
+        print(f"GOLDEN DRIFT: {problem}")
+    if problems:
+        print(
+            "regenerate intentionally-moved snapshots with "
+            "`PYTHONPATH=src python tests/test_sweep_golden.py` and commit "
+            "them with the change"
+        )
+        return 1
+    print("golden snapshots clean (all cells within tolerance)")
+    return 0
+
+
 if __name__ == "__main__":
+    import sys
+
+    if "--check" in sys.argv[1:]:
+        raise SystemExit(check())
     regenerate()
