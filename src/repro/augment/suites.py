@@ -110,10 +110,32 @@ FIGURE6_SUITES = ("SH", "MR", "MR+SH")
 FIGURE13_SUITES = ("MR", "mR", "SH", "HFlip", "VFlip")
 
 
+class UnknownSuiteError(KeyError):
+    """The requested transformation suite name is not registered.
+
+    A ``KeyError`` subclass (the historical contract of
+    :func:`suite_by_name`) whose message lists the available suites, so a
+    typo'd name never surfaces as an opaque lookup failure.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.suite_name = name
+
+    def __str__(self) -> str:
+        return (
+            f"unknown transform suite {self.suite_name!r}; available "
+            f"suites: {', '.join(_REGISTRY)}"
+        )
+
+
 def suite_by_name(name: str) -> TransformSuite:
-    """Look up a paper-named suite: MR, mR, SH, HFlip, VFlip, MR+SH."""
+    """Look up a paper-named suite: MR, mR, SH, HFlip, VFlip, MR+SH.
+
+    Unknown names raise :class:`UnknownSuiteError` listing what exists.
+    """
     if name not in _REGISTRY:
-        raise KeyError(f"unknown transform suite {name!r}; known: {sorted(_REGISTRY)}")
+        raise UnknownSuiteError(name)
     return _REGISTRY[name]()
 
 

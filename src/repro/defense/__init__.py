@@ -1,4 +1,5 @@
-"""Defenses: OASIS (the paper's contribution), analysis tools, baselines."""
+"""Defenses: OASIS (the paper's contribution), the composable pipeline,
+the pluggable registry, analysis tools, and baselines."""
 
 from repro.defense.analysis import ActivationOverlapReport, activation_overlap_report
 from repro.defense.base import ClientDefense, NoDefense
@@ -11,6 +12,24 @@ from repro.defense.baselines import (
 )
 from repro.defense.detection import DetectionReport, inspect_state
 from repro.defense.oasis import OasisDefense
+from repro.defense.pipeline import STAGE_SEPARATOR, DefensePipeline
+from repro.defense.registry import (
+    DefenseKnob,
+    DefenseRegistryError,
+    DefenseSpec,
+    DefenseSpecError,
+    DuplicateDefenseError,
+    UnknownDefenseError,
+    available_defenses,
+    canonical_spec,
+    defense_spec,
+    make_defense,
+    parse_defense_spec,
+    register_defense,
+    split_spec_list,
+    unregister_defense,
+    validate_defense_spec,
+)
 from repro.defense.tabular import (
     GroupPermutation,
     MeanPreservingJitter,
@@ -22,11 +41,28 @@ __all__ = [
     "ClientDefense",
     "NoDefense",
     "OasisDefense",
+    "DefensePipeline",
+    "STAGE_SEPARATOR",
     "DPGradientDefense",
     "DPSGDDefense",
     "GradientPruningDefense",
     "TransformReplaceDefense",
     "defense_lineup",
+    "DefenseKnob",
+    "DefenseSpec",
+    "DefenseRegistryError",
+    "DefenseSpecError",
+    "DuplicateDefenseError",
+    "UnknownDefenseError",
+    "available_defenses",
+    "canonical_spec",
+    "defense_spec",
+    "make_defense",
+    "parse_defense_spec",
+    "register_defense",
+    "split_spec_list",
+    "unregister_defense",
+    "validate_defense_spec",
     "ActivationOverlapReport",
     "activation_overlap_report",
     "TabularOasisDefense",

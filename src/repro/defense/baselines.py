@@ -10,6 +10,16 @@
   version instead of unioning transforms in.  Fig. 14 shows RTF defeats it:
   a replaced image can still be a neuron's sole activator, so it is
   reconstructed verbatim (just transformed — content revealed).
+
+All three register in :mod:`repro.defense.registry` (``dpsgd``, ``dpfed``,
+``prune``, ``ats``) and compose with OASIS through
+:class:`~repro.defense.pipeline.DefensePipeline` spec strings like
+``"MR>dpsgd"``.  The stochastic ones (noise, transform choice) draw from
+the private generator installed by
+:meth:`~repro.defense.base.ClientDefense.reseed` when a grid runner has
+derived one from its cell's configuration fingerprint, falling back to the
+caller-provided generator otherwise — never from a fixed or global stream,
+so defended cells stay order- and worker-invariant.
 """
 
 from __future__ import annotations
@@ -30,7 +40,12 @@ class DPGradientDefense(ClientDefense):
     uploads, which is the FL-practical variant (DP-FedSGD).
     """
 
-    def __init__(self, clip_norm: float = 1.0, noise_multiplier: float = 0.1) -> None:
+    def __init__(
+        self,
+        clip_norm: float = 1.0,
+        noise_multiplier: float = 0.1,
+        seed: "int | None" = None,
+    ) -> None:
         if clip_norm <= 0:
             raise ValueError("clip_norm must be positive")
         if noise_multiplier < 0:
@@ -38,12 +53,15 @@ class DPGradientDefense(ClientDefense):
         self.clip_norm = clip_norm
         self.noise_multiplier = noise_multiplier
         self.name = f"DP(sigma={noise_multiplier})"
+        if seed is not None:
+            self.reseed(seed)
 
     def process_gradients(
         self,
         gradients: dict[str, np.ndarray],
         rng: np.random.Generator,
     ) -> dict[str, np.ndarray]:
+        rng = self._generator(rng)
         total_norm = np.sqrt(
             sum(float(np.sum(g ** 2)) for g in gradients.values())
         )
@@ -72,7 +90,12 @@ class DPSGDDefense(ClientDefense):
       contrasts OASIS against).
     """
 
-    def __init__(self, clip_norm: float = 1.0, noise_multiplier: float = 0.1) -> None:
+    def __init__(
+        self,
+        clip_norm: float = 1.0,
+        noise_multiplier: float = 0.1,
+        seed: "int | None" = None,
+    ) -> None:
         if clip_norm <= 0:
             raise ValueError("clip_norm must be positive")
         if noise_multiplier < 0:
@@ -81,6 +104,8 @@ class DPSGDDefense(ClientDefense):
         self.noise_multiplier = noise_multiplier
         self.per_sample_clip = clip_norm
         self.name = f"DPSGD(z={noise_multiplier})"
+        if seed is not None:
+            self.reseed(seed)
 
     def finalize_update(
         self,
@@ -91,6 +116,7 @@ class DPSGDDefense(ClientDefense):
         sigma = self.noise_multiplier * self.clip_norm / max(num_examples, 1)
         if sigma == 0.0:
             return gradients
+        rng = self._generator(rng)
         return {
             name: grad + rng.standard_normal(grad.shape) * sigma
             for name, grad in gradients.items()
@@ -130,14 +156,22 @@ class TransformReplaceDefense(ClientDefense):
     The batch size is unchanged — no union with the original — so the attack
     principle still applies to the transformed images themselves, and RTF
     reconstructs them perfectly (paper Fig. 14).
+
+    ``seed`` installs a private generator for the per-image transform
+    choice (``None`` draws from the caller's generator); grid runners
+    reseed it from the cell's configuration fingerprint instead, so the
+    chosen transforms never depend on execution order.
     """
 
-    def __init__(self, suite: TransformSuite | str = "MR", seed: int = 0) -> None:
+    def __init__(
+        self, suite: "TransformSuite | str" = "MR", seed: "int | None" = None
+    ) -> None:
         if isinstance(suite, str):
             suite = suite_by_name(suite)
         self.suite = suite
-        self.seed = seed
         self.name = f"ATS({suite.name})"
+        if seed is not None:
+            self.reseed(seed)
 
     def process_batch(
         self,
@@ -145,6 +179,7 @@ class TransformReplaceDefense(ClientDefense):
         labels: np.ndarray,
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, np.ndarray]:
+        rng = self._generator(rng)
         choices = rng.integers(0, len(self.suite.transforms), size=len(images))
         replaced = np.stack(
             [
@@ -156,17 +191,16 @@ class TransformReplaceDefense(ClientDefense):
 
 
 def defense_lineup(names: Sequence[str]) -> list[ClientDefense]:
-    """Build the standard figure lineups from paper names.
+    """Build the standard figure lineups from registered spec strings.
 
-    "WO" maps to no defense; any suite name maps to OASIS with that suite.
+    Registry-backed: ``"WO"`` maps to no defense, suite names to OASIS,
+    and any registered spec (``"dpsgd"``, ``"MR>dpsgd"``...) works too.
+    Unknown names raise
+    :class:`~repro.defense.registry.UnknownDefenseError` listing the
+    available defenses instead of an opaque ``KeyError``.
     """
-    from repro.defense.base import NoDefense
-    from repro.defense.oasis import OasisDefense
+    # Imported lazily: the registry module imports this one for the
+    # baseline classes it registers.
+    from repro.defense.registry import make_defense
 
-    lineup: list[ClientDefense] = []
-    for name in names:
-        if name == "WO":
-            lineup.append(NoDefense())
-        else:
-            lineup.append(OasisDefense(name))
-    return lineup
+    return [make_defense(name) for name in names]

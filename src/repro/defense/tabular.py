@@ -91,6 +91,10 @@ class TabularOasisDefense(ClientDefense):
         Row width; used to build the default transform set.
     seed:
         Seed for the jitter noise (client-held, unknown to the server).
+        Grid runners replace this stream via
+        :meth:`~repro.defense.base.ClientDefense.reseed` with a
+        configuration-fingerprint-derived one, so defended cells stay
+        order/worker-invariant like every other stochastic defense.
     """
 
     def __init__(

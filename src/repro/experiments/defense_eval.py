@@ -3,6 +3,13 @@
 Each experiment fixes the attack at its strongest (B, n) configuration from
 the Fig. 3/4 sweeps and compares the PSNR distribution of reconstructions
 under each OASIS transformation suite against the no-defense baseline (WO).
+
+Lineup arms are defense-registry spec strings
+(:mod:`repro.defense.registry`), so beyond the paper's suite lineups any
+registered baseline (``"dpsgd"``, ``"prune"``, ``"ats"``) or composed
+stack (``"MR>dpsgd"``) slots straight into a lineup tuple; stochastic arms
+are re-seeded per trial from the trial seed, keeping cached distributions
+order-invariant.
 """
 
 from __future__ import annotations
@@ -168,11 +175,12 @@ def run_linear_lineup(
     for defense_name in lineup:
         scores: list[float] = []
         for trial in range(num_trials):
+            trial_seed = seed + 31 * trial
             result = run_linear_trial(
                 dataset,
                 batch_size,
-                defense=defense_from_name(defense_name),
-                seed=seed + 31 * trial,
+                defense=defense_from_name(defense_name, seed=trial_seed),
+                seed=trial_seed,
             )
             scores.extend(result.psnrs)
         distributions[defense_name] = np.array(scores)

@@ -21,7 +21,7 @@ import numpy as np
 from repro.data.loaders import DataLoader
 from repro.data.synthetic import SyntheticImageDataset
 from repro.defense.base import ClientDefense, NoDefense
-from repro.defense.oasis import OasisDefense
+from repro.defense.registry import make_defense
 from repro.experiments.reporting import format_table
 from repro.metrics.accuracy import accuracy
 from repro.nn.losses import CrossEntropyLoss
@@ -100,7 +100,7 @@ def run_table1(
     """All arms of one Table I column (one dataset)."""
     outcomes = {}
     for name in lineup:
-        defense = NoDefense() if name == "WO" else OasisDefense(name)
+        defense = make_defense(name)
         outcomes[name] = train_with_defense(
             train_set,
             test_set,

@@ -64,13 +64,20 @@ def make_attack(
     )
 
 
-def defense_from_name(name: str) -> ClientDefense:
-    """Resolve a defense-arm name: ``"WO"`` (no defense) or an OASIS suite."""
-    if name == "WO":
-        return NoDefense()
-    from repro.defense.oasis import OasisDefense
+def defense_from_name(name: str, seed: "int | None" = None) -> ClientDefense:
+    """Resolve a defense-arm spec string through the defense registry.
 
-    return OasisDefense(name)
+    ``"WO"`` (no defense), OASIS suite names, gradient-space baselines
+    (``"dpsgd"``, ``"prune"``, ...), and composed stacks (``"MR>dpsgd"``)
+    all work — see :mod:`repro.defense.registry` for the grammar.  With
+    ``seed``, stochastic defenses get a private fingerprint-derived
+    generator so trials stay order-invariant.  Unknown names raise
+    :class:`~repro.defense.registry.UnknownDefenseError` (a ``ValueError``)
+    listing what is available.
+    """
+    from repro.defense.registry import make_defense
+
+    return make_defense(name, seed=seed)
 
 
 def evaluate_attack_cell(payload: dict):
@@ -111,13 +118,18 @@ def evaluate_attack_cell(payload: dict):
     if mode == "distribution":
         scores: list[float] = []
         for trial in range(payload["num_trials"]):
+            trial_seed = payload["seed"] + 31 * trial
             result = run_attack_trial(
                 dataset,
                 payload["attack"],
                 payload["batch_size"],
                 payload["num_neurons"],
-                defense=defense_from_name(payload["defense"]),
-                seed=payload["seed"] + 31 * trial,
+                # A fresh, trial-seeded defense per trial: stochastic arms
+                # (DP noise, transform-replace) must not thread one stream
+                # across trials, or the distribution would depend on how
+                # many trials ran before this one.
+                defense=defense_from_name(payload["defense"], seed=trial_seed),
+                seed=trial_seed,
             )
             scores.extend(result.psnrs)
         return [float(score) for score in scores]

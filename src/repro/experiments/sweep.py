@@ -43,11 +43,19 @@ The expected headline shape (paper Fig. 5): for each scenario, the
 (attack, no-defense) cell's mean PSNR strictly exceeds the (attack, MR)
 cell's — reproduced by :func:`headline_ordering_holds`.
 
-The attack axis resolves through the pluggable registry
+Both grid axes resolve through pluggable registries.  The attack axis
 (:mod:`repro.attacks.registry`): any registered name works, the cell's
 global model follows the attack's declared family (imprint vs linear),
 and aggregate-reconstructing attacks (LOKI) ride the dishonest server's
-per-client crafting hooks transparently.
+per-client crafting hooks transparently.  The defense axis
+(:mod:`repro.defense.registry`): arms are spec strings — ``"WO"``, OASIS
+suite names, gradient-space baselines (``"dpsgd"``, ``"prune"``, ...),
+knobbed variants (``"dpsgd(noise_multiplier=0.5)"``), and composed
+stacks (``"MR>dpsgd"``) that chain through a
+:class:`~repro.defense.DefensePipeline`.  Stochastic defense stages (DP
+noise, transform-replace) draw from generators derived from the cell's
+configuration fingerprint, so defended cells keep the byte-identity
+guarantee.
 
 Run a sweep from the command line::
 
@@ -56,6 +64,10 @@ Run a sweep from the command line::
     # the whole attack zoo:
     PYTHONPATH=src python -m repro.experiments.sweep \
         --grid smoke --attacks rtf,cah,linear,qbi,loki --workers 2
+    # a defense stack lineup (quote the '>' from the shell):
+    PYTHONPATH=src python -m repro.experiments.sweep \
+        --grid smoke --attacks rtf,cah,qbi \
+        --defenses 'WO,MR,MR+SH,dpsgd,prune,MR>dpsgd' --workers 2
     # interrupted? finish the remaining cells:
     PYTHONPATH=src python -m repro.experiments.sweep \
         --grid smoke --workers 4 --store sweep.json --resume
@@ -89,7 +101,12 @@ from repro.attacks.registry import (
     available_attacks,
     make_attack,
 )
-from repro.defense.oasis import OasisDefense
+from repro.defense.registry import (
+    available_defenses,
+    make_defense,
+    split_spec_list,
+    validate_defense_spec,
+)
 from repro.experiments.reporting import format_table
 from repro.fl.simulator import FederatedSimulation, FederationConfig
 from repro.metrics.psnr import match_reconstructions
@@ -158,8 +175,18 @@ DEFAULT_SCENARIOS: tuple[ParticipationScenario, ...] = (
 
 # The defense arms of the paper's figures: no defense plus every named
 # transformation suite (Fig. 5 singles and the Fig. 6 MR+SH integration).
+# Any registered defense spec (see repro.defense.registry) can extend the
+# axis — gradient-space baselines ("dpsgd", "prune") and composed stacks
+# ("MR>dpsgd") included.
 DEFAULT_DEFENSES: tuple[str, ...] = (
     "WO", "MR", "mR", "SH", "HFlip", "VFlip", "MR+SH",
+)
+
+# The defense-zoo lineup of the smoke/CI grids: one OASIS suite, the
+# integration suite, both gradient-space baselines, and the composed
+# OASIS+DP stack the paper's Sec. V composition argument is about.
+ZOO_DEFENSES: tuple[str, ...] = (
+    "WO", "MR", "MR+SH", "dpsgd", "prune", "MR>dpsgd",
 )
 
 
@@ -663,9 +690,11 @@ class SweepRunner:
     dataset:
         The private dataset; partitioned per scenario.
     attacks / defenses / scenarios:
-        The grid axes.  Defenses are ``"WO"`` (no defense) or transformation
-        suite names; scenarios are :class:`ParticipationScenario` entries
-        with unique names.
+        The grid axes.  Attacks are registered attack names; defenses are
+        registry spec strings — ``"WO"``, suite names, baselines, knobbed
+        variants, or composed stacks like ``"MR>dpsgd"`` (see
+        :mod:`repro.defense.registry`); scenarios are
+        :class:`ParticipationScenario` entries with unique names.
     store:
         A :class:`SweepStore`, a path for one, or None for memory-only.
     """
@@ -695,6 +724,8 @@ class SweepRunner:
                 raise ValueError(f"duplicate {axis_label} in {axis}")
         for name in attacks:
             attack_spec(name)  # fail fast on unknown attacks, not per cell
+        for spec in defenses:
+            validate_defense_spec(spec)  # likewise for the defense axis
         self.dataset = dataset
         self.attacks = tuple(attacks)
         self.defenses = tuple(defenses)
@@ -825,7 +856,10 @@ class SweepRunner:
             self.dataset.images[: self.public_size],
             seed=seed,
         )
-        defense = None if cell.defense == "WO" else OasisDefense(cell.defense)
+        # The cell-fingerprint seed also keys the defense's private
+        # streams (DP noise, transform choices), so stochastic arms stay
+        # order/worker-invariant like everything else in the cell.
+        defense = make_defense(cell.defense, seed=seed)
         simulation = FederatedSimulation(
             self.dataset,
             self._model_factory(seed, cell.attack),
@@ -1000,7 +1034,11 @@ def scenario_to_dict(scenario: ParticipationScenario) -> dict:
 
 
 def _smoke_runner(
-    seed: int, rounds: int, store, attacks: Optional[Sequence[str]] = None
+    seed: int,
+    rounds: int,
+    store,
+    attacks: Optional[Sequence[str]] = None,
+    defenses: Optional[Sequence[str]] = None,
 ) -> SweepRunner:
     """2-cell sanity grid: rtf x (WO, MR) x full participation, seconds."""
     dataset = make_synthetic_dataset(
@@ -1009,7 +1047,7 @@ def _smoke_runner(
     return SweepRunner(
         dataset,
         attacks=attacks or ("rtf",),
-        defenses=("WO", "MR"),
+        defenses=defenses or ("WO", "MR"),
         scenarios=(ParticipationScenario("full", num_clients=2),),
         batch_size=3,
         num_neurons=48,
@@ -1021,7 +1059,11 @@ def _smoke_runner(
 
 
 def _default_runner(
-    seed: int, rounds: int, store, attacks: Optional[Sequence[str]] = None
+    seed: int,
+    rounds: int,
+    store,
+    attacks: Optional[Sequence[str]] = None,
+    defenses: Optional[Sequence[str]] = None,
 ) -> SweepRunner:
     """8-cell working grid: rtf x 4 suites x 2 participation shapes."""
     dataset = make_synthetic_dataset(
@@ -1030,7 +1072,7 @@ def _default_runner(
     return SweepRunner(
         dataset,
         attacks=attacks or ("rtf",),
-        defenses=("WO", "MR", "SH", "MR+SH"),
+        defenses=defenses or ("WO", "MR", "SH", "MR+SH"),
         scenarios=DEFAULT_SCENARIOS[:2],
         batch_size=4,
         num_neurons=64,
@@ -1042,13 +1084,17 @@ def _default_runner(
 
 
 def _acceptance_runner(
-    seed: int, rounds: int, store, attacks: Optional[Sequence[str]] = None
+    seed: int,
+    rounds: int,
+    store,
+    attacks: Optional[Sequence[str]] = None,
+    defenses: Optional[Sequence[str]] = None,
 ) -> SweepRunner:
     """The 24-cell acceptance grid on the CIFAR100 stand-in (minutes)."""
     return SweepRunner(
         synthetic_cifar100(samples_per_class=2, seed=2002),
         attacks=attacks or ("rtf", "cah"),
-        defenses=("WO", "MR", "SH", "MR+SH"),
+        defenses=defenses or ("WO", "MR", "SH", "MR+SH"),
         scenarios=DEFAULT_SCENARIOS[:3],
         batch_size=4,
         num_neurons=64,
@@ -1115,6 +1161,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"axis; registered: {', '.join(available_attacks())}"
         ),
     )
+    parser.add_argument(
+        "--defenses",
+        default=None,
+        help=(
+            "comma-separated defense specs overriding the preset's defense "
+            "axis; arms are registry spec strings, including knobbed "
+            "variants like dpsgd(noise_multiplier=0.5) and composed stacks "
+            "like MR>dpsgd (quote '>' from the shell); registered: "
+            f"{', '.join(available_defenses())}"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
     parser.add_argument(
         "--rounds", type=int, default=1, help="federation rounds per cell"
@@ -1136,6 +1193,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except UnknownAttackError as error:
                 parser.error(str(error))
 
+    defenses: Optional[tuple[str, ...]] = None
+    if args.defenses is not None:
+        try:
+            defenses = tuple(split_spec_list(args.defenses))
+        except ValueError as error:
+            parser.error(str(error))
+        if not defenses:
+            parser.error("--defenses must name at least one defense")
+        if len(set(defenses)) != len(defenses):
+            parser.error(
+                f"--defenses lists a spec twice: {', '.join(defenses)}"
+            )
+        for spec in defenses:
+            try:
+                validate_defense_spec(spec)
+            except ValueError as error:
+                parser.error(str(error))
+
     store_path = args.store or Path(f"sweep_{args.grid}.json")
     shard_dir = SweepStore.shard_directory_for(store_path)
     if (store_path.exists() or shard_dir.is_dir()) and not args.resume:
@@ -1146,7 +1221,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "it, or point --store elsewhere"
         )
     runner = GRID_PRESETS[args.grid](
-        seed=args.seed, rounds=args.rounds, store=store_path, attacks=attacks
+        seed=args.seed,
+        rounds=args.rounds,
+        store=store_path,
+        attacks=attacks,
+        defenses=defenses,
     )
 
     def report(event: CellEvent) -> None:

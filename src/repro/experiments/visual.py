@@ -21,7 +21,7 @@ import numpy as np
 from repro.attacks.imprint import ImprintedModel
 from repro.data.synthetic import SyntheticImageDataset
 from repro.defense.base import NoDefense
-from repro.defense.oasis import OasisDefense
+from repro.defense.registry import make_defense
 from repro.experiments.reporting import render_ascii_image, side_by_side
 from repro.experiments.runner import make_attack
 from repro.fl.gradients import compute_batch_gradients
@@ -62,7 +62,7 @@ def reconstruction_gallery(
     ("MR", "mR", "SH", "HFlip", "VFlip", "MR+SH") reproduces the defended
     panel of the corresponding figure.
     """
-    defense = NoDefense() if suite_name is None else OasisDefense(suite_name)
+    defense = NoDefense() if suite_name is None else make_defense(suite_name)
     rng = np.random.default_rng((seed, batch_size))
     images, labels = dataset.sample_batch(min(batch_size, len(dataset)), rng)
     model = ImprintedModel(

@@ -2,8 +2,11 @@
 
 Clients are *honest* in the paper's threat model — they faithfully train
 whatever model the server sends.  Their only protection is local batch
-preprocessing (OASIS) or gradient post-processing (DP, pruning), applied
-through a pluggable :class:`~repro.defense.ClientDefense`.
+preprocessing (OASIS, transform-replace) or gradient post-processing (DP,
+pruning), applied through a pluggable
+:class:`~repro.defense.ClientDefense` — a single defense, a composed
+:class:`~repro.defense.DefensePipeline`, or a registry spec string like
+``"MR>dpsgd"`` (resolved through :func:`repro.defense.make_defense`).
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ class Client:
         model: Module,
         loss_fn: Module,
         batch_size: int,
-        defense: Optional[ClientDefense] = None,
+        defense: "ClientDefense | str | None" = None,
         seed: int = 0,
     ) -> None:
         self.client_id = client_id
@@ -37,7 +40,13 @@ class Client:
         self.model = model
         self.loss_fn = loss_fn
         self.batch_size = min(batch_size, len(dataset))
-        self.defense = defense if defense is not None else NoDefense()
+        if defense is None:
+            defense = NoDefense()
+        elif isinstance(defense, str):
+            from repro.defense.registry import make_defense
+
+            defense = make_defense(defense)
+        self.defense = defense
         self._rng = np.random.default_rng((seed, client_id))
         self.last_batch: Optional[tuple[np.ndarray, np.ndarray]] = None
 

@@ -68,10 +68,11 @@ def compute_defended_update(
 ) -> tuple[dict[str, np.ndarray], float, int]:
     """The full client-side update pipeline with a defense attached.
 
-    Applies, in order: the defense's batch hook (OASIS expansion /
-    ATS replacement), gradient computation (per-sample clipped when the
-    defense sets ``per_sample_clip``, plain batch otherwise), and the
-    defense's finalize hook (noising / pruning).  Returns
+    Applies every stage of the defense hook surface, in order: the batch
+    hook (OASIS expansion / ATS replacement), gradient computation
+    (per-sample clipped when the defense sets ``per_sample_clip``, plain
+    batch otherwise), the gradient hook (pruning / update-level noising),
+    and the finalize hook (batch-size-calibrated DP-SGD noise).  Returns
     (gradients, loss, original batch size).
 
     The reported example count is deliberately the *pre-expansion* batch
@@ -99,6 +100,7 @@ def compute_defended_update(
         gradients, loss_value = compute_batch_gradients(
             model, loss_fn, images, labels
         )
+    gradients = defense.process_gradients(gradients, rng)
     gradients = defense.finalize_update(gradients, len(images), rng)
     return gradients, loss_value, num_examples
 

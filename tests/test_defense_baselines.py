@@ -115,3 +115,17 @@ class TestLineup:
     def test_names_preserved(self):
         lineup = defense_lineup(["WO", "MR+SH"])
         assert [d.name for d in lineup] == ["WO", "MR+SH"]
+
+    def test_typo_raises_name_listing_error(self):
+        # Registry-backed: no more opaque KeyError on a misspelled arm.
+        from repro.defense import UnknownDefenseError
+
+        with pytest.raises(UnknownDefenseError, match="registered defenses"):
+            defense_lineup(["WO", "MRR"])
+
+    def test_gradient_and_composed_arms_resolve(self):
+        from repro.defense import DefensePipeline, DPSGDDefense
+
+        lineup = defense_lineup(["dpsgd", "MR>dpsgd"])
+        assert isinstance(lineup[0], DPSGDDefense)
+        assert isinstance(lineup[1], DefensePipeline)

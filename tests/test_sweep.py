@@ -296,7 +296,10 @@ class TestHarnessParallelAndFailures:
         )
         assert len(result.distributions["WO"]) > 0
         assert len(result.distributions["bogus-suite"]) == 0
-        assert result.errors["bogus-suite"]["type"] == "KeyError"
+        # Registry-backed resolution: the typo'd arm fails with the
+        # name-listing UnknownDefenseError, not an opaque KeyError.
+        assert result.errors["bogus-suite"]["type"] == "UnknownDefenseError"
+        assert "registered defenses" in result.errors["bogus-suite"]["message"]
         assert "bogus-suite" in result.to_table()
 
 
@@ -335,14 +338,16 @@ class TestOutcomeEdgeCases:
     def test_error_cell_skipped_by_headline_and_rendered_as_err(
         self, sweep_dataset
     ):
+        # A typo'd arm now fails fast at construction (see
+        # test_unknown_defense_fails_fast in test_sweep_defenses.py), so a
+        # mid-run failure needs an arm that validates but dies per cell:
+        # the tabular defense rejects 4-D image batches at process_batch.
         outcome = make_runner(
-            sweep_dataset, defenses=("WO", "MR", "bogus-suite")
+            sweep_dataset, defenses=("WO", "MR", "tabular")
         ).run()
-        # The bogus arm fails; the WO/MR pair still decides the headline.
+        # The tabular arm fails; the WO/MR pair still decides the headline.
         assert headline_ordering_holds(outcome) is True
-        assert (
-            headline_ordering_holds(outcome, defended="bogus-suite") is False
-        )
+        assert headline_ordering_holds(outcome, defended="tabular") is False
         assert "ERR" in outcome.to_table()
 
     def test_missing_pair_is_vacuously_false(self, sweep_dataset):

@@ -1,8 +1,9 @@
 """Golden-file regression suite for the sweep engine's numeric output.
 
-Snapshots of a fixed 4-cell grid — ``SweepOutcome.to_table()`` and every
-per-cell result dict — live in ``tests/golden/``.  Any change to the
-attack/defense hot path (gradient algebra, PSNR matching, batch expansion,
+Snapshots of a fixed 50-cell grid (5 attacks x 5 defense arms x 2
+scenarios) — ``SweepOutcome.to_table()`` and every per-cell result dict —
+live in ``tests/golden/``.  Any change to the attack/defense hot path
+(gradient algebra, PSNR matching, batch expansion, gradient defenses,
 seed derivation) that shifts these numbers fails here, so silent numeric
 drift can't ride in on an unrelated refactor.
 
@@ -30,14 +31,19 @@ TABLE_PATH = GOLDEN_DIR / "sweep_table.txt"
 REL_TOLERANCE = 1e-6
 
 
-def golden_runner(store=None):
-    """The frozen 20-cell grid the snapshots were generated from.
+GOLDEN_DEFENSES = ("WO", "MR", "dpsgd", "prune", "MR>dpsgd")
 
-    The attack axis covers the whole zoo — every registered attack runs
-    through the full dishonest-server protocol with fingerprint-keyed
-    seeds, so numeric drift in *any* attack's gradient algebra fails
-    here.  Changing anything in this grid invalidates the snapshots —
-    regenerate them in the same commit.
+
+def golden_runner(store=None):
+    """The frozen 50-cell grid the snapshots were generated from.
+
+    The attack axis covers the whole zoo and the defense axis spans the
+    registry's families — no defense, OASIS expansion, both gradient-space
+    baselines, and a composed stack — so numeric drift in *any* attack's
+    gradient algebra, any defense's batch/gradient hooks, or the
+    fingerprint-keyed seeding of stochastic stages (DP noise) fails here.
+    Changing anything in this grid invalidates the snapshots — regenerate
+    them in the same commit.
     """
     from repro.data import make_synthetic_dataset
     from repro.experiments import ParticipationScenario, SweepRunner
@@ -48,7 +54,7 @@ def golden_runner(store=None):
     return SweepRunner(
         dataset,
         attacks=("rtf", "cah", "linear", "qbi", "loki"),
-        defenses=("WO", "MR"),
+        defenses=GOLDEN_DEFENSES,
         scenarios=(
             ParticipationScenario("full", num_clients=2),
             ParticipationScenario("sampled", num_clients=4, clients_per_round=2),
@@ -129,6 +135,14 @@ def test_every_zoo_attack_present_in_golden_grid(outcome):
         "the golden grid must cover the whole attack zoo; extend "
         "golden_runner and regenerate when registering a new attack"
     )
+
+
+def test_defense_families_present_in_golden_grid(outcome):
+    # The defense axis must pin every registry family: no defense, OASIS
+    # expansion, a stochastic gradient defense, a deterministic gradient
+    # defense, and a composed pipeline.
+    covered = {result["defense"] for result in outcome.results.values()}
+    assert {"WO", "MR", "dpsgd", "prune", "MR>dpsgd"} <= covered
 
 
 def test_parallel_executor_reproduces_golden_cells(tmp_path):

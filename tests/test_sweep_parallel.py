@@ -35,6 +35,14 @@ def sweep_dataset():
     return make_synthetic_dataset(4, 12, image_size=8, seed=3, name="sweep")
 
 
+# A registered arm that validates fine but fails inside every image
+# cell: the tabular defense rejects 4-D image batches at process_batch.
+# Being a built-in registry entry, it exists in every worker regardless
+# of the multiprocessing start method (spawn workers re-import the
+# registry fresh and would never see a test-local registration).
+FAILING_DEFENSE = "tabular"
+
+
 def make_runner(dataset, store=None, **overrides):
     """The smoke grid: 4 cells of rtf x (WO, MR) x (full, sampled)."""
     kwargs = dict(
@@ -200,13 +208,13 @@ class TestFailureIsolation:
     def test_failed_cell_records_structured_error(self, sweep_dataset, tmp_path):
         path = tmp_path / "sweep.json"
         outcome = make_runner(
-            sweep_dataset, store=path, defenses=("WO", "bogus-suite")
+            sweep_dataset, store=path, defenses=("WO", FAILING_DEFENSE)
         ).run()
-        failed_key = SweepCell("rtf", "bogus-suite", "full").key
+        failed_key = SweepCell("rtf", FAILING_DEFENSE, "full").key
         assert failed_key in outcome.failed
         error = outcome.results[failed_key]["error"]
-        assert error["type"] == "KeyError"
-        assert "bogus-suite" in error["message"]
+        assert error["type"] == "ValueError"
+        assert "tabular batches" in error["message"]
         assert "traceback" in error
         # The two WO cells and nothing else persisted: failures retry.
         persisted = json.loads(path.read_text())["cells"]
@@ -215,7 +223,7 @@ class TestFailureIsolation:
 
     def test_failed_cells_retry_on_next_run(self, sweep_dataset, tmp_path):
         path = tmp_path / "sweep.json"
-        kwargs = dict(store=path, defenses=("WO", "bogus-suite"))
+        kwargs = dict(store=path, defenses=("WO", FAILING_DEFENSE))
         first = make_runner(sweep_dataset, **kwargs).run()
         again = make_runner(sweep_dataset, **kwargs).run(make_executor(2))
         assert sorted(again.cached) == sorted(first.computed)
@@ -226,7 +234,7 @@ class TestFailureIsolation:
     ):
         outcome = make_runner(
             sweep_dataset, store=tmp_path / "s.json",
-            defenses=("WO", "bogus-suite", "MR"),
+            defenses=("WO", FAILING_DEFENSE, "MR"),
         ).run(make_executor(2))
         assert len(outcome.computed) == 4 and len(outcome.failed) == 2
         assert headline_ordering_holds(outcome)
@@ -240,12 +248,12 @@ class TestFailureIsolation:
         ).run()
         events: list[CellEvent] = []
         make_runner(
-            sweep_dataset, store=path, defenses=("WO", "MR", "bogus-suite")
+            sweep_dataset, store=path, defenses=("WO", "MR", FAILING_DEFENSE)
         ).run(make_executor(2), progress=events.append)
         statuses = sorted(event.status for event in events)
         assert statuses == ["cached", "cached", "done", "done", "failed", "failed"]
         failures = [event for event in events if event.status == "failed"]
-        assert all(event.error["type"] == "KeyError" for event in failures)
+        assert all(event.error["type"] == "ValueError" for event in failures)
 
 
 class TestSeedDerivation:
@@ -316,7 +324,7 @@ class TestStagedApi:
         runner = make_runner(
             sweep_dataset,
             store=tmp_path / "s.json",
-            defenses=("WO", "bogus-suite"),
+            defenses=("WO", FAILING_DEFENSE),
         )
         runner.execute(runner.cells())
         assert all("WO" in key for key in runner.store.keys())
