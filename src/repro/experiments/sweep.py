@@ -13,19 +13,28 @@ module provides that engine:
   :class:`~repro.fl.DishonestServer` with ``target_client_id=None`` (every
   arriving update is inverted — the multi-victim regime), and scores all
   reconstructions with the vectorized pairwise-PSNR matcher.
-- :class:`SweepStore` is a resumable JSON result store: each finished cell
-  is persisted immediately via an atomic temp-file + ``os.replace`` write,
-  so an interrupted sweep resumes without recomputing completed cells and
-  never leaves a half-written file.  The per-figure harnesses
-  (``attack_sweep``, ``defense_eval``) share the same store for their own
-  grids.
-- :class:`SerialSweepExecutor` / :class:`ParallelSweepExecutor` decide *how*
-  the pending cells run: in-process, or fanned out over a
-  ``multiprocessing`` pool where each worker persists finished cells to a
-  per-worker **shard** store (``<store>.shards/shard-<pid>.json``) that is
-  merged into the main store on completion.  A run killed mid-sweep leaves
-  its shards behind; the next run (serial or parallel) recovers them via
-  :meth:`SweepStore.recover_shards` before computing anything.
+- :class:`SweepStore` is a resumable result store built for million-cell
+  grids: an append-only record log where each finished cell costs O(1)
+  bytes to persist (the former monolithic-JSON store rewrote the whole
+  file per cell — O(N^2) bytes over a run) and only a ``key -> offset``
+  index stays in memory; values are read back lazily and
+  :meth:`SweepStore.iter_cells` streams the grid without materializing
+  it.  Completed runs compact the log into canonical sorted-key order,
+  and stores written by the old JSON format migrate transparently on
+  first write.  The per-figure harnesses (``attack_sweep``,
+  ``defense_eval``) share the same store for their own grids.
+- :class:`SerialSweepExecutor` / :class:`WorkStealingSweepExecutor` decide
+  *how* the pending cells run: in-process, or pulled by worker processes
+  from a shared task queue — a worker takes its next cell the moment it
+  finishes the last, so wildly uneven cell costs (trap attacks vs linear
+  cells) never leave workers idle.  Each worker persists finished cells
+  to a per-worker **shard** store (``<store>.shards/shard-<pid>.json``)
+  merged into the main store on completion.  A run killed mid-sweep
+  leaves its shards behind; the next run (serial or parallel) recovers
+  them via :meth:`SweepStore.recover_shards` before computing anything,
+  quarantining any corrupt shard instead of abandoning the good ones.
+  :func:`make_executor` adapts the worker count to the usable cores
+  instead of oversubscribing, degrading to serial on 1-core hosts.
 
 Determinism is the load-bearing property: every cell's randomness derives
 from :func:`repro.utils.rng.derive_seed` keyed by the cell's configuration
@@ -76,17 +85,19 @@ Run a sweep from the command line::
 from __future__ import annotations
 
 import argparse
-import concurrent.futures
 import hashlib
 import json
 import multiprocessing
 import os
+import queue as queue_module
 import sys
 import time
 import traceback
+import warnings
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -110,7 +121,7 @@ from repro.defense.registry import (
 from repro.experiments.reporting import format_table
 from repro.fl.simulator import FederatedSimulation, FederationConfig
 from repro.metrics.psnr import match_reconstructions
-from repro.utils.checkpoint import atomic_write_text
+from repro.utils.checkpoint import atomic_write_lines
 from repro.utils.rng import derive_seed
 
 
@@ -208,32 +219,157 @@ class SweepStoreError(RuntimeError):
     """A sweep store file exists but cannot be trusted (corrupt/foreign)."""
 
 
-class SweepStore:
-    """Resumable JSON store of finished cells.
+# On-disk format of the scalable store: line 1 is this header, every
+# further line is one {"k": key, "v": value} record, last record wins.
+STORE_FORMAT = "oasis-sweep-log-v1"
+_STORE_HEADER = json.dumps(
+    {"format": STORE_FORMAT}, sort_keys=True, separators=(",", ":")
+)
 
-    Every :meth:`put` rewrites the backing file through an atomic temp-file
-    + ``os.replace`` write, so a killed sweep loses at most the cell in
-    flight and a reader never observes a truncated file; re-running with
-    the same store skips every key already present (tracked by the
-    ``hits``/``misses`` counters the tests assert on).  A store file that
-    exists but does not parse as the expected JSON shape raises
-    :class:`SweepStoreError` instead of being silently treated as empty —
-    silently recomputing a large grid is worse than asking the operator to
-    delete a corrupt file.  With ``path=None`` the store is memory-only —
-    same interface, no persistence.
+
+def _record_line(key: str, value) -> str:
+    """Canonical serialized form of one cell record."""
+    return json.dumps(
+        {"k": key, "v": value}, sort_keys=True, separators=(",", ":")
+    )
+
+
+class ShardRecovery(NamedTuple):
+    """What :meth:`SweepStore.recover_shards` found: absorbed cells and
+    corrupt shard files quarantined as ``*.corrupt``."""
+
+    recovered: int
+    quarantined: int
+
+
+class SweepStore:
+    """Resumable append-only log store of finished cells.
+
+    Built for million-cell grids: a :meth:`put` *appends* one record line
+    to the backing log — O(1) bytes per cell, instead of the former
+    monolithic-JSON store's full-file rewrite (O(N^2) bytes over a run) —
+    and only the ``key -> byte offset`` index lives in memory; cell values
+    stay on disk and are parsed on demand (:meth:`get`,
+    :meth:`iter_cells`), so holding a 10^6-cell store open costs the index,
+    not the grid.
+
+    The file format is line-oriented: a header line naming
+    :data:`STORE_FORMAT`, then one ``{"k": ..., "v": ...}`` JSON record
+    per line, last record per key winning.  A process killed mid-append
+    leaves at most one torn final line, which the next open silently drops
+    (that cell simply recomputes); damage *before* intact records — which
+    no crash of this writer can produce — raises :class:`SweepStoreError`
+    rather than silently recomputing a large grid.  :meth:`compact`
+    rewrites the log atomically in canonical sorted-key order; executors
+    compact on completion, which is what keeps serial, work-stolen
+    parallel, and resumed stores **byte-identical**.
+
+    Stores written by the pre-log monolithic format (``{"cells": {...}}``
+    JSON, including the committed golden stores) load transparently and
+    are left byte-for-byte unchanged until the first write, which migrates
+    the file to the log format once.  With ``path=None`` the store is
+    memory-only — same interface, no persistence.
     """
 
     def __init__(self, path: "str | Path | None" = None) -> None:
         self.path = Path(path) if path is not None else None
         self.hits = 0
         self.misses = 0
-        self._cells: dict[str, dict] = {}
+        # key -> (offset, length) into the log file, or None when the
+        # value lives in _mem (memory-only store, or a legacy-format
+        # store loaded but not yet migrated).
+        self._where: "dict[str, tuple[int, int] | None]" = {}
+        self._mem: dict[str, object] = {}
+        self._legacy = False
+        self._read_handle = None
+        self._append_handle = None
+        self._data_end = 0  # end of the last intact record (torn tails cut)
         if self.path is not None and self.path.exists():
-            self._cells = self._load(self.path)
+            self._load_existing()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load_existing(self) -> None:
+        path = self.path
+        try:
+            with open(path, "rb") as handle:
+                first_line = handle.readline()
+        except OSError as error:
+            raise SweepStoreError(
+                f"sweep store {path} exists but cannot be read: {error}"
+            ) from error
+        header = None
+        try:
+            header = json.loads(first_line)
+        except ValueError:
+            pass
+        if isinstance(header, dict) and "format" in header:
+            if header["format"] != STORE_FORMAT:
+                raise SweepStoreError(
+                    f"sweep store {path} was written by format "
+                    f"{header['format']!r}, not {STORE_FORMAT!r}; refusing "
+                    "to mix store formats — migrate or delete the file"
+                )
+            self._where, self._data_end = self._scan_log(path)
+        else:
+            # Pre-log monolithic JSON store: load in full (such stores
+            # were memory-bound by construction) and migrate lazily on
+            # the first write, leaving read-only opens byte-identical.
+            self._mem = self._load_legacy(path)
+            self._where = {key: None for key in self._mem}
+            self._legacy = True
 
     @staticmethod
-    def _load(path: Path) -> dict:
-        """Parse a store file, raising :class:`SweepStoreError` on damage."""
+    def _scan_log(path: Path) -> "tuple[dict[str, tuple[int, int]], int]":
+        """Index a log file: ``key -> (offset, length)`` plus the end of
+        the last intact record.
+
+        A final line that is incomplete (no newline) or unparsable is a
+        torn append from a crash and is dropped; a damaged line with
+        intact records *after* it means the file was edited or corrupted
+        by something other than this writer, and raises.
+        """
+        where: "dict[str, tuple[int, int]]" = {}
+        with open(path, "rb") as handle:
+            header = handle.readline()
+            offset = len(header)
+            data_end = offset
+            torn_at: Optional[int] = None
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                if torn_at is not None:
+                    raise SweepStoreError(
+                        f"sweep store {path} is corrupt: damaged record at "
+                        f"byte {torn_at} with intact records after it — "
+                        "this writer's crashes only ever tear the final "
+                        "line; delete or restore the file"
+                    )
+                start = offset
+                offset += len(line)
+                if not line.endswith(b"\n"):
+                    torn_at = start
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    torn_at = start
+                    continue
+                if not (
+                    isinstance(record, dict)
+                    and isinstance(record.get("k"), str)
+                    and "v" in record
+                ):
+                    torn_at = start
+                    continue
+                where[record["k"]] = (start, len(line))
+                data_end = offset
+        return where, data_end
+
+    @staticmethod
+    def _load_legacy(path: Path) -> dict:
+        """Parse a pre-log monolithic store, raising on damage."""
         try:
             text = path.read_text()
         except OSError as error:
@@ -258,43 +394,156 @@ class SweepStore:
             )
         return payload["cells"]
 
+    # -- reads -------------------------------------------------------------
+
     def __contains__(self, key: str) -> bool:
-        return key in self._cells
+        return key in self._where
 
     def __len__(self) -> int:
-        return len(self._cells)
+        return len(self._where)
 
     def get(self, key: str):
         """Return the cached value for ``key`` (None on miss), counting."""
-        if key in self._cells:
-            self.hits += 1
-            return self._cells[key]
-        self.misses += 1
-        return None
+        if key not in self._where:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._value(key)
 
-    def put(self, key: str, value) -> None:
-        """Record ``key`` and persist immediately (resume safety)."""
-        self._cells[key] = value
-        self._persist()
-
-    def update(self, mapping: dict) -> None:
-        """Record many cells with a single persisted write."""
-        if not mapping:
-            return
-        self._cells.update(mapping)
-        self._persist()
+    def _value(self, key: str):
+        location = self._where[key]
+        if location is None:
+            return self._mem[key]
+        offset, length = location
+        if self._read_handle is None:
+            self._read_handle = open(self.path, "rb")
+        self._read_handle.seek(offset)
+        return json.loads(self._read_handle.read(length))["v"]
 
     def keys(self) -> list[str]:
-        """All cached cell keys, insertion-ordered."""
-        return list(self._cells)
+        """All cached cell keys (file order; sorted after a compaction)."""
+        return list(self._where)
 
-    def _persist(self) -> None:
+    def iter_cells(self):
+        """Stream ``(key, value)`` pairs in sorted key order.
+
+        Values are read from disk one record at a time, so iterating a
+        million-cell store never materializes the grid; this is what
+        streaming reporting builds on.
+        """
+        for key in sorted(self._where):
+            yield key, self._value(key)
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: str, value) -> None:
+        """Record ``key``, appending one log record (O(1) bytes)."""
+        if self.path is None:
+            self._mem[key] = value
+            self._where[key] = None
+            return
+        self._append({key: value})
+
+    def update(self, mapping: dict) -> None:
+        """Record many cells with a single buffered append."""
+        if not mapping:
+            return
+        if self.path is None:
+            self._mem.update(mapping)
+            self._where.update(dict.fromkeys(mapping))
+            return
+        self._append(mapping)
+
+    def _append(self, mapping: dict) -> None:
+        if self._legacy:
+            # One-time migration: rewrite the legacy JSON as a log, then
+            # append normally ever after.
+            self._write_canonical()
+        handle = self._appender()
+        offset = self._data_end
+        buffer = bytearray()
+        for key, value in mapping.items():
+            line = (_record_line(key, value) + "\n").encode("utf-8")
+            self._where[key] = (offset, len(line))
+            offset += len(line)
+            buffer += line
+        handle.seek(self._data_end)
+        handle.write(buffer)
+        handle.flush()
+        self._data_end = offset
+
+    def _appender(self):
+        if self._append_handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self.path.exists():
+                self._append_handle = open(self.path, "r+b")
+                # Cut any torn tail a crash left so the next record
+                # starts on a clean line.
+                if self.path.stat().st_size > self._data_end:
+                    self._append_handle.truncate(self._data_end)
+            else:
+                self._append_handle = open(self.path, "w+b")
+                header = (_STORE_HEADER + "\n").encode("utf-8")
+                self._append_handle.write(header)
+                self._append_handle.flush()
+                self._data_end = len(header)
+        return self._append_handle
+
+    def compact(self) -> None:
+        """Atomically rewrite the log in canonical sorted-key order.
+
+        Executors call this once per completed run: compaction is what
+        turns "same mapping" into "same bytes", making serial, parallel,
+        and resumed stores byte-identical regardless of the order cells
+        finished (and it drops superseded duplicate records).  Also the
+        migration point for legacy-format stores.
+        """
         if self.path is None:
             return
-        atomic_write_text(
-            self.path,
-            json.dumps({"cells": self._cells}, indent=2, sort_keys=True) + "\n",
+        if not self._where and not self.path.exists():
+            return  # nothing ever persisted; don't create an empty file
+        self._write_canonical()
+
+    def _write_canonical(self) -> None:
+        keys = sorted(self._where)
+        new_where: "dict[str, tuple[int, int] | None]" = {}
+
+        def lines():
+            offset = len(_STORE_HEADER) + 1
+            yield _STORE_HEADER
+            for key in keys:
+                line = _record_line(key, self._value(key))
+                length = len(line.encode("utf-8")) + 1
+                new_where[key] = (offset, length)
+                offset += length
+                yield line
+
+        atomic_write_lines(self.path, lines())
+        self.close()
+        self._where = new_where
+        self._data_end = (
+            len(_STORE_HEADER) + 1
+            + sum(length for _, length in new_where.values())
         )
+        self._mem = {}
+        self._legacy = False
+
+    def close(self) -> None:
+        """Close file handles (reopened lazily on the next access)."""
+        for handle in (self._read_handle, self._append_handle):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+        self._read_handle = None
+        self._append_handle = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- shard support (parallel execution / crash recovery) ---------------
 
@@ -310,31 +559,54 @@ class SweepStore:
             return None
         return self.shard_directory_for(self.path)
 
-    def recover_shards(self) -> int:
+    def recover_shards(self) -> ShardRecovery:
         """Absorb shards left behind by a killed parallel run.
 
-        Each shard is itself a complete, atomically-written store file, so
-        every cell found in one is a finished result; they are merged into
-        this store (existing keys win — they are the same results) and the
-        shard files are removed.  Returns the number of recovered cells.
-        Memory-only stores have no shards and recover nothing.
+        Every cell found in a readable shard is a finished result; each
+        shard is merged into this store (existing keys win — they are the
+        same results) and its file is removed **only after** the absorbing
+        append has durably landed in the main store, so a crash or a
+        failed persist mid-recovery never deletes results it has not
+        saved.  A shard that cannot be parsed (beyond the torn final line
+        every crash may leave, which is dropped silently) is quarantined —
+        renamed to ``<shard>.corrupt`` — instead of abandoning the
+        readable shards behind it.  Returns both counts; memory-only
+        stores have no shards and recover nothing.
         """
         directory = self.shard_directory()
         if directory is None or not directory.is_dir():
-            return 0
-        recovered: dict[str, dict] = {}
+            return ShardRecovery(0, 0)
+        recovered = 0
+        quarantined = 0
         for shard in sorted(directory.glob("shard-*.json")):
-            for key, value in self._load(shard).items():
-                if key not in self._cells:
-                    recovered[key] = value
-        self.update(recovered)
-        for shard in directory.glob("shard-*.json"):
-            shard.unlink()
+            try:
+                shard_store = SweepStore(shard)
+                fresh = {
+                    key: value
+                    for key, value in shard_store.iter_cells()
+                    if key not in self._where
+                }
+                shard_store.close()
+            except SweepStoreError as error:
+                quarantine = shard.with_name(shard.name + ".corrupt")
+                shard.rename(quarantine)
+                quarantined += 1
+                warnings.warn(
+                    f"quarantined corrupt sweep shard {shard} -> "
+                    f"{quarantine}: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            self.update(fresh)  # raises before the unlink on a failed persist
+            recovered += len(fresh)
+            if self.path is not None:
+                shard.unlink()
         try:
             directory.rmdir()
         except OSError:
-            pass  # unrelated files present; leave the directory
-        return len(recovered)
+            pass  # quarantined/unrelated files present; leave the directory
+        return ShardRecovery(recovered, quarantined)
 
 
 # --------------------------------------------------------------------------
@@ -447,8 +719,10 @@ class SerialSweepExecutor:
     """Run tasks one after another in-process, persisting as each finishes.
 
     The reference executor: zero parallelism overhead, finest-grained
-    resume (the store is updated after every single cell).
+    resume (the store log is appended after every single cell).
     """
+
+    workers = 1
 
     def run(
         self,
@@ -468,6 +742,7 @@ class SerialSweepExecutor:
                     store.put(key, result)
                 executions[key] = CellExecution(result, elapsed)
                 _notify(progress, key, result, elapsed, index + 1, len(tasks))
+            store.compact()
             return executions
         finally:
             _WORKER_SHARED = previous
@@ -478,7 +753,7 @@ class SerialSweepExecutor:
 
 
 def _execute_task(task: tuple) -> tuple[str, object, float]:
-    """Pool entry: run one task, persist success to this worker's shard."""
+    """Worker entry: run one task, persist success to this worker's shard."""
     key, fn, payload = task
     result, elapsed = _guarded(fn, payload)
     if _WORKER_SHARD is not None and not is_failure(result):
@@ -486,30 +761,57 @@ def _execute_task(task: tuple) -> tuple[str, object, float]:
     return key, result, elapsed
 
 
-class ParallelSweepExecutor:
-    """Fan tasks out over a process pool with sharded persistence.
+def _worker_main(task_queue, result_queue, shard_dir, shared) -> None:
+    """Work-stealing worker loop: pull tasks until the sentinel arrives.
 
-    Each worker process appends finished cells to its own shard store
-    (atomic writes, like the main store), so no two processes ever write
-    the same file.  On normal completion the parent merges all results
-    into the main store with one atomic write and removes the shards; if
-    the run is killed first, the shards survive and the next run's
-    :meth:`SweepStore.recover_shards` absorbs them.  A memory-only store
-    skips shards entirely — there is no store file to resume against, so
-    results travel back over IPC alone.  Because every cell's randomness
-    is keyed by its configuration fingerprint (not execution order), the
-    merged store is byte-identical to a serial run's.
+    Each finished cell is appended to this worker's shard store *before*
+    its result is reported back, so a parent killed mid-run loses nothing
+    the workers completed.
+    """
+    _initialize_worker(shard_dir, shared)
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            result_queue.put(_execute_task(task))
+    finally:
+        if _WORKER_SHARD is not None:
+            _WORKER_SHARD.close()
+
+
+class WorkStealingSweepExecutor:
+    """Fan tasks out to worker processes that pull from a shared queue.
+
+    The former executor handed a process pool one future per cell; this
+    one makes the pull explicit and lock-free for the caller: every worker
+    draws its next cell from one shared queue the moment it finishes the
+    last, so uneven cell costs (a trap-attack cell can cost many times a
+    linear one) never leave a worker idle while another drags a long
+    chunk — the degenerate, always-correct form of work stealing where
+    the global queue is every thief's victim.
+
+    Persistence is sharded: each worker appends finished cells to its own
+    log-backed shard store (``<store>.shards/shard-<pid>.json``), so no
+    two processes write one file and a killed run's completed cells
+    survive for :meth:`SweepStore.recover_shards`.  On completion the
+    parent merges all results into the main store, absorbs shards, and
+    compacts — producing bytes identical to a serial run, because every
+    cell's randomness is keyed by its configuration fingerprint, never by
+    which worker ran it or in what order.
 
     Task exceptions become structured failure results; a worker that dies
     *without* raising (OOM-kill, segfault) surfaces as
-    :class:`concurrent.futures.process.BrokenProcessPool` from :meth:`run`
-    rather than a silent hang, and the dead run's shards remain for the
-    next run to recover.
+    :class:`concurrent.futures.process.BrokenProcessPool` once the
+    remaining workers drain the queue, and the dead run's shards remain
+    for the next run to recover.
 
     Parameters
     ----------
     workers:
-        Pool size; capped at the number of pending tasks.
+        Worker-process count; capped at the number of pending tasks.
+        Construct directly to force a count; :func:`make_executor` caps
+        requests at the usable cores instead of oversubscribing.
     start_method:
         ``multiprocessing`` start method; default is ``fork`` on Linux
         (cheap, inherits loaded numpy) and the platform default elsewhere
@@ -537,25 +839,75 @@ class ParallelSweepExecutor:
         shared=None,
     ) -> dict[str, CellExecution]:
         if not tasks:
+            store.compact()  # resumed byte-identity even with nothing to do
             return {}
         shard_dir = store.shard_directory()
         if shard_dir is not None:
             shard_dir.mkdir(parents=True, exist_ok=True)
+        context = self._context()
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        for task in tasks:
+            task_queue.put(task)
+        workers = min(self.workers, len(tasks))
+        for _ in range(workers):
+            task_queue.put(None)  # one shutdown sentinel per worker
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    task_queue,
+                    result_queue,
+                    str(shard_dir) if shard_dir is not None else None,
+                    shared,
+                ),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
         executions: dict[str, CellExecution] = {}
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.workers, len(tasks)),
-            mp_context=self._context(),
-            initializer=_initialize_worker,
-            initargs=(str(shard_dir) if shard_dir is not None else None, shared),
-        ) as pool:
-            futures = [pool.submit(_execute_task, task) for task in tasks]
-            for future in concurrent.futures.as_completed(futures):
-                key, result, elapsed = future.result()
-                executions[key] = CellExecution(result, elapsed)
-                _notify(
-                    progress, key, result, elapsed,
-                    len(executions), len(tasks),
-                )
+
+        def absorb(item) -> None:
+            key, result, elapsed = item
+            executions[key] = CellExecution(result, elapsed)
+            _notify(progress, key, result, elapsed, len(executions), len(tasks))
+
+        try:
+            for process in processes:
+                process.start()
+            while len(executions) < len(tasks):
+                try:
+                    absorb(result_queue.get(timeout=0.1))
+                except queue_module.Empty:
+                    if any(process.is_alive() for process in processes):
+                        continue
+                    # Every worker exited; drain what they flushed before
+                    # deciding whether someone died holding a task.
+                    while len(executions) < len(tasks):
+                        try:
+                            absorb(result_queue.get(timeout=0.2))
+                        except queue_module.Empty:
+                            break
+                    if len(executions) < len(tasks):
+                        raise BrokenProcessPool(
+                            f"{len(tasks) - len(executions)} sweep task(s) "
+                            "never returned: a worker died without raising "
+                            "(OOM-kill or segfault); cells it finished "
+                            "survive in its shard for the next run to "
+                            "recover"
+                        )
+        finally:
+            # Unread tasks (broken-pool or interrupt path) must not block
+            # the parent on the queue's feeder thread.
+            task_queue.cancel_join_thread()
+            for process in processes:
+                process.join(timeout=5.0)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            task_queue.close()
+            result_queue.close()
         store.update(
             {
                 key: execution.result
@@ -568,16 +920,55 @@ class ParallelSweepExecutor:
         # shards a *previous* killed run left behind are merged too —
         # never deleted unmerged.
         store.recover_shards()
+        store.compact()
         return executions
 
 
+# Backwards-compatible name: the parallel executor *is* the work-stealing
+# scheduler now.
+ParallelSweepExecutor = WorkStealingSweepExecutor
+
+
+def usable_cpu_count() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def make_executor(
-    workers: int = 1, start_method: Optional[str] = None
+    workers: "int | None" = 1, start_method: Optional[str] = None
 ):
-    """Serial executor for ``workers <= 1``, process-pool otherwise."""
+    """Build the right executor for ``workers``, never oversubscribing.
+
+    ``None`` (or ``"auto"``) asks for every usable core.  A request
+    beyond the usable cores is reduced with a warning — forcing 4 workers
+    onto a 1-core host once *recorded a 0.29x "speedup"* in
+    BENCH_sweep_parallel — and a request that lands at one worker
+    degrades to the :class:`SerialSweepExecutor`, which beats a
+    single-worker process pool by construction.  Construct
+    :class:`WorkStealingSweepExecutor` directly to force a worker count
+    (tests do, to exercise multi-process paths on small hosts).
+    """
+    cap = usable_cpu_count()
+    if workers is None or workers == "auto":
+        workers = cap
+    workers = int(workers)
+    if workers > cap:
+        warnings.warn(
+            f"requested {workers} sweep workers but only {cap} usable "
+            f"core(s); reducing to {cap} (oversubscribed process pools "
+            "run *slower* than serial)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = cap
     if workers <= 1:
         return SerialSweepExecutor()
-    return ParallelSweepExecutor(workers, start_method=start_method)
+    return WorkStealingSweepExecutor(workers, start_method=start_method)
 
 
 @dataclass
@@ -1134,9 +1525,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
-        help="worker processes; 1 runs serially in-process (default: 1)",
+        default="1",
+        help=(
+            "worker processes: an integer, or 'auto' for every usable "
+            "core; requests beyond the usable cores are reduced with a "
+            "warning, and 1 effective worker runs serially in-process "
+            "(default: 1)"
+        ),
     )
     parser.add_argument(
         "--store",
@@ -1177,6 +1572,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--rounds", type=int, default=1, help="federation rounds per cell"
     )
     args = parser.parse_args(argv)
+
+    if args.workers == "auto":
+        requested_workers: "int | None" = None
+    else:
+        try:
+            requested_workers = int(args.workers)
+        except ValueError:
+            parser.error("--workers must be an integer or 'auto'")
 
     attacks: Optional[tuple[str, ...]] = None
     if args.attacks is not None:
@@ -1242,7 +1645,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"done in {event.elapsed_s:.2f}s"
             )
 
-    outcome = runner.run(make_executor(args.workers), progress=report)
+    outcome = runner.run(make_executor(requested_workers), progress=report)
     print()
     print(outcome.to_table())
     print(

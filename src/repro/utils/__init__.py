@@ -2,6 +2,7 @@
 
 from repro.utils.checkpoint import (
     atomic_write_bytes,
+    atomic_write_lines,
     atomic_write_text,
     load_model,
     load_state,
@@ -31,5 +32,6 @@ __all__ = [
     "save_model",
     "load_model",
     "atomic_write_bytes",
+    "atomic_write_lines",
     "atomic_write_text",
 ]

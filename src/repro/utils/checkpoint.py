@@ -54,6 +54,42 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
     return atomic_write_bytes(path, text.encode("utf-8"))
 
 
+def atomic_write_lines(path: str | Path, lines) -> Path:
+    """Stream ``lines`` (newline-free strings) to ``path`` atomically.
+
+    Unlike :func:`atomic_write_text`, the payload is written line by line
+    as the iterable produces it, so a caller can emit millions of lines
+    (e.g. a sweep-store compaction) without ever holding the whole file in
+    memory.  Same crash-safety contract: temp file in the destination
+    directory, fsync, ``os.replace``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(
+            descriptor, "w", encoding="utf-8", newline="\n"
+        ) as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def save_state(path: str | Path, state: dict[str, np.ndarray]) -> Path:
     """Write a state dict to ``path`` (.npz appended if missing), atomically."""
     path = Path(path)

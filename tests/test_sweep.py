@@ -176,11 +176,36 @@ class TestStoreResume:
         with pytest.raises(SweepStoreError, match="corrupt"):
             SweepStore(path)
 
-    def test_truncated_store_detected(self, tmp_path):
+    def test_torn_tail_recovered_not_fatal(self, tmp_path):
+        # A log store killed mid-append leaves at most one partial final
+        # line; the next open drops exactly that record (it recomputes)
+        # instead of refusing the whole store.
         path = tmp_path / "sweep.json"
-        SweepStore(path).put("cell", {"mean_psnr": 1.0})
-        intact = path.read_text()
-        path.write_text(intact[: len(intact) // 2])
+        store = SweepStore(path)
+        store.put("cell-a", {"mean_psnr": 1.0})
+        store.put("cell-b", {"mean_psnr": 2.0})
+        store.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact[:-7])  # tear the final record
+        reopened = SweepStore(path)
+        assert reopened.get("cell-a") == {"mean_psnr": 1.0}
+        assert reopened.get("cell-b") is None
+        # Appending over the torn tail leaves a clean, loadable store.
+        reopened.put("cell-b", {"mean_psnr": 3.0})
+        reopened.close()
+        assert SweepStore(path).get("cell-b") == {"mean_psnr": 3.0}
+
+    def test_corrupt_mid_file_detected(self, tmp_path):
+        # Damage *before* intact records cannot come from this writer's
+        # crashes (only the final line can tear) — refuse the store.
+        path = tmp_path / "sweep.json"
+        store = SweepStore(path)
+        store.put("cell-a", {"mean_psnr": 1.0})
+        store.put("cell-b", {"mean_psnr": 2.0})
+        store.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"k": broken\n'
+        path.write_bytes(b"".join(lines))
         with pytest.raises(SweepStoreError, match="corrupt"):
             SweepStore(path)
 

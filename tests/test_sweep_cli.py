@@ -2,18 +2,16 @@
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
-from repro.experiments.sweep import GRID_PRESETS, main
+from repro.experiments.sweep import GRID_PRESETS, SweepStore, main
 
 
 def test_smoke_grid_runs_and_persists(tmp_path, capsys):
     store = tmp_path / "sweep.json"
     exit_code = main(["--grid", "smoke", "--store", str(store)])
     assert exit_code == 0
-    cells = json.loads(store.read_text())["cells"]
+    cells = SweepStore(store)
     assert len(cells) == 2
     output = capsys.readouterr().out
     assert "2 computed, 0 cached, 0 failed" in output
@@ -62,6 +60,30 @@ def test_workers_flag_matches_serial_store(tmp_path):
     assert serial.read_bytes() == parallel.read_bytes()
 
 
+def test_workers_auto_matches_serial_store(tmp_path):
+    # "auto" sizes the pool to the host; whatever it picks, the compacted
+    # store must be byte-identical to the serial run.
+    serial = tmp_path / "serial.json"
+    auto = tmp_path / "auto.json"
+    assert main(["--grid", "smoke", "--store", str(serial)]) == 0
+    assert (
+        main(["--grid", "smoke", "--store", str(auto), "--workers", "auto"])
+        == 0
+    )
+    assert serial.read_bytes() == auto.read_bytes()
+
+
+def test_workers_flag_rejects_garbage(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "--grid", "smoke",
+            "--store", str(tmp_path / "x.json"),
+            "--workers", "many",
+        ])
+    assert excinfo.value.code == 2
+    assert "--workers" in capsys.readouterr().err
+
+
 def test_seed_flag_changes_results(tmp_path):
     a, b = tmp_path / "a.json", tmp_path / "b.json"
     assert main(["--grid", "smoke", "--store", str(a)]) == 0
@@ -83,9 +105,9 @@ def test_attacks_flag_runs_the_whole_zoo(tmp_path, capsys):
         "--store", str(store),
     ])
     assert exit_code == 0
-    cells = json.loads(store.read_text())["cells"]
+    cells = SweepStore(store)
     assert len(cells) == 10  # 5 attacks x (WO, MR) x full participation
-    attacks = {key.split("|")[0] for key in cells}
+    attacks = {key.split("|")[0] for key in cells.keys()}
     assert attacks == {"rtf", "cah", "linear", "qbi", "loki"}
     assert "10 computed" in capsys.readouterr().out
 

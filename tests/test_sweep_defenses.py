@@ -10,8 +10,6 @@ error instead of one cell deep into a sweep.
 
 from __future__ import annotations
 
-import json
-
 import numpy as np
 import pytest
 
@@ -22,6 +20,7 @@ from repro.experiments import (
     ParticipationScenario,
     SweepCell,
     SweepRunner,
+    SweepStore,
     make_executor,
 )
 from repro.experiments.sweep import ZOO_DEFENSES, main
@@ -153,9 +152,9 @@ class TestDefensesCLI:
             "--store", str(store),
         ])
         assert exit_code == 0
-        cells = json.loads(store.read_text())["cells"]
+        cells = SweepStore(store)
         assert len(cells) == 5
-        defenses = {key.split("|")[1] for key in cells}
+        defenses = {key.split("|")[1] for key in cells.keys()}
         assert defenses == {"WO", "MR", "dpsgd", "prune", "MR>dpsgd"}
         assert "5 computed" in capsys.readouterr().out
 
@@ -178,8 +177,7 @@ class TestDefensesCLI:
             "--store", str(store),
         ])
         assert exit_code == 0
-        cells = json.loads(store.read_text())["cells"]
-        assert len(cells) == 2  # the knobbed spec is ONE arm, not two
+        assert len(SweepStore(store)) == 2  # the knobbed spec is ONE arm, not two
 
     def test_unknown_defense_is_a_usage_error(self, tmp_path, capsys):
         with pytest.raises(SystemExit) as excinfo:

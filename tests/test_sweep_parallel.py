@@ -9,8 +9,6 @@ fingerprint, never by execution order or worker assignment.
 
 from __future__ import annotations
 
-import json
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -22,12 +20,15 @@ from repro.experiments import (
     ParallelSweepExecutor,
     ParticipationScenario,
     SerialSweepExecutor,
+    ShardRecovery,
     SweepCell,
     SweepRunner,
     SweepStore,
+    WorkStealingSweepExecutor,
     headline_ordering_holds,
     make_executor,
 )
+from repro.experiments import sweep as sweep_module
 
 
 @pytest.fixture(scope="module")
@@ -72,7 +73,7 @@ class TestExecutorEquivalence:
         parallel_path = tmp_path / "parallel.json"
         serial = make_runner(sweep_dataset, store=serial_path).run()
         parallel = make_runner(sweep_dataset, store=parallel_path).run(
-            make_executor(2)
+            WorkStealingSweepExecutor(2)
         )
         assert len(serial.computed) == len(parallel.computed) == 4
         assert serial_path.read_bytes() == parallel_path.read_bytes()
@@ -82,7 +83,12 @@ class TestExecutorEquivalence:
         references = None
         for workers in (1, 2, 3):
             path = tmp_path / f"w{workers}.json"
-            make_runner(sweep_dataset, store=path).run(make_executor(workers))
+            executor = (
+                SerialSweepExecutor()
+                if workers == 1
+                else WorkStealingSweepExecutor(workers)
+            )
+            make_runner(sweep_dataset, store=path).run(executor)
             content = path.read_bytes()
             if references is None:
                 references = content
@@ -92,7 +98,7 @@ class TestExecutorEquivalence:
         self, sweep_dataset, tmp_path
     ):
         outcome = make_runner(sweep_dataset, store=tmp_path / "s.json").run(
-            make_executor(2)
+            WorkStealingSweepExecutor(2)
         )
         # Grid-order results regardless of completion order, with a timing
         # per computed cell.
@@ -101,14 +107,46 @@ class TestExecutorEquivalence:
         assert sorted(outcome.timings) == sorted(outcome.results)
         assert all(elapsed >= 0.0 for elapsed in outcome.timings.values())
 
-    def test_make_executor_selects_by_workers(self):
+    def test_make_executor_selects_by_workers(self, monkeypatch):
+        monkeypatch.setattr(sweep_module, "usable_cpu_count", lambda: 8)
         assert isinstance(make_executor(1), SerialSweepExecutor)
-        assert isinstance(make_executor(4), ParallelSweepExecutor)
+        assert isinstance(make_executor(4), WorkStealingSweepExecutor)
+        assert make_executor(4).workers == 4
         with pytest.raises(ValueError):
-            ParallelSweepExecutor(0)
+            WorkStealingSweepExecutor(0)
+
+    def test_make_executor_caps_at_usable_cores(self, monkeypatch):
+        # The 0.29x regression: forcing 4 workers onto a 1-core host made
+        # the "parallel" run slower than serial.  make_executor now warns
+        # and reduces instead of oversubscribing...
+        monkeypatch.setattr(sweep_module, "usable_cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="2 usable core"):
+            executor = make_executor(4)
+        assert isinstance(executor, WorkStealingSweepExecutor)
+        assert executor.workers == 2
+
+    def test_make_executor_degrades_to_serial_on_one_core(self, monkeypatch):
+        # ...and on a 1-core host it degrades all the way to the serial
+        # executor, which a 1-worker pool can never beat.
+        monkeypatch.setattr(sweep_module, "usable_cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="1 usable core"):
+            executor = make_executor(4)
+        assert isinstance(executor, SerialSweepExecutor)
+
+    def test_make_executor_auto_uses_every_usable_core(self, monkeypatch):
+        monkeypatch.setattr(sweep_module, "usable_cpu_count", lambda: 3)
+        executor = make_executor(None)
+        assert isinstance(executor, WorkStealingSweepExecutor)
+        assert executor.workers == 3
+        assert make_executor("auto").workers == 3
+
+    def test_parallel_executor_is_the_work_stealing_scheduler(self):
+        # Backwards-compatible alias: code constructing the old name gets
+        # the shared-queue scheduler.
+        assert ParallelSweepExecutor is WorkStealingSweepExecutor
 
     def test_memory_only_store_runs_parallel(self, sweep_dataset):
-        outcome = make_runner(sweep_dataset).run(make_executor(2))
+        outcome = make_runner(sweep_dataset).run(WorkStealingSweepExecutor(2))
         assert len(outcome.computed) == 4
         assert headline_ordering_holds(outcome)
 
@@ -124,7 +162,9 @@ class TestResume:
             store=path,
             scenarios=(ParticipationScenario("full", num_clients=2),),
         ).run()
-        resumed = make_runner(sweep_dataset, store=path).run(make_executor(2))
+        resumed = make_runner(sweep_dataset, store=path).run(
+            WorkStealingSweepExecutor(2)
+        )
         assert len(resumed.cached) == 2 and len(resumed.computed) == 2
 
         reference_path = tmp_path / "reference.json"
@@ -169,11 +209,9 @@ class TestResume:
         SweepStore(shard_dir / "shard-999.json").put(
             "survivor-key", {"mean_psnr": 42.0}
         )
-        runner.execute(runner.cells()[:1], ParallelSweepExecutor(2))
+        runner.execute(runner.cells()[:1], WorkStealingSweepExecutor(2))
         assert not shard_dir.exists()
-        assert json.loads(path.read_text())["cells"]["survivor-key"] == {
-            "mean_psnr": 42.0
-        }
+        assert SweepStore(path).get("survivor-key") == {"mean_psnr": 42.0}
 
     def test_recover_shards_counts_and_is_idempotent(self, sweep_dataset, tmp_path):
         path = tmp_path / "sweep.json"
@@ -182,8 +220,8 @@ class TestResume:
         shard_dir.mkdir()
         SweepStore(shard_dir / "shard-1.json").put("a", 1)
         SweepStore(shard_dir / "shard-2.json").put("b", 2)
-        assert store.recover_shards() == 2
-        assert store.recover_shards() == 0
+        assert store.recover_shards() == ShardRecovery(2, 0)
+        assert store.recover_shards() == (0, 0)
         assert sorted(store.keys()) == ["a", "b"]
 
 
@@ -202,7 +240,7 @@ class TestFailureIsolation:
 
         store = SweepStore(tmp_path / "s.json")
         with pytest.raises(BrokenProcessPool):
-            ParallelSweepExecutor(2).run(
+            WorkStealingSweepExecutor(2).run(
                 [("key", _exit_worker_hard, None)], store
             )
     def test_failed_cell_records_structured_error(self, sweep_dataset, tmp_path):
@@ -217,15 +255,17 @@ class TestFailureIsolation:
         assert "tabular batches" in error["message"]
         assert "traceback" in error
         # The two WO cells and nothing else persisted: failures retry.
-        persisted = json.loads(path.read_text())["cells"]
+        persisted = SweepStore(path)
         assert len(persisted) == 2
-        assert all("WO" in key for key in persisted)
+        assert all("WO" in key for key in persisted.keys())
 
     def test_failed_cells_retry_on_next_run(self, sweep_dataset, tmp_path):
         path = tmp_path / "sweep.json"
         kwargs = dict(store=path, defenses=("WO", FAILING_DEFENSE))
         first = make_runner(sweep_dataset, **kwargs).run()
-        again = make_runner(sweep_dataset, **kwargs).run(make_executor(2))
+        again = make_runner(sweep_dataset, **kwargs).run(
+            WorkStealingSweepExecutor(2)
+        )
         assert sorted(again.cached) == sorted(first.computed)
         assert sorted(again.failed) == sorted(first.failed)
 
@@ -235,7 +275,7 @@ class TestFailureIsolation:
         outcome = make_runner(
             sweep_dataset, store=tmp_path / "s.json",
             defenses=("WO", FAILING_DEFENSE, "MR"),
-        ).run(make_executor(2))
+        ).run(WorkStealingSweepExecutor(2))
         assert len(outcome.computed) == 4 and len(outcome.failed) == 2
         assert headline_ordering_holds(outcome)
 
@@ -249,7 +289,7 @@ class TestFailureIsolation:
         events: list[CellEvent] = []
         make_runner(
             sweep_dataset, store=path, defenses=("WO", "MR", FAILING_DEFENSE)
-        ).run(make_executor(2), progress=events.append)
+        ).run(WorkStealingSweepExecutor(2), progress=events.append)
         statuses = sorted(event.status for event in events)
         assert statuses == ["cached", "cached", "done", "done", "failed", "failed"]
         failures = [event for event in events if event.status == "failed"]
