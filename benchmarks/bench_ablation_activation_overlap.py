@@ -10,9 +10,7 @@ MR+SH integration — the mechanism behind Figs. 5-6.
 
 from __future__ import annotations
 
-import numpy as np
-
-from common import cifar100_bench, record_report
+from common import bench_rng, cifar100_bench, record_report
 from repro.attacks import CAHAttack, ImprintedModel, RTFAttack
 from repro.defense import OasisDefense, activation_overlap_report
 from repro.experiments import format_table
@@ -22,7 +20,7 @@ SUITES = ("MR", "mR", "SH", "HFlip", "VFlip", "MR+SH")
 
 def _crafted(dataset, attack_name, num_neurons=300, seed=31):
     model = ImprintedModel(dataset.image_shape, num_neurons, dataset.num_classes,
-                           rng=np.random.default_rng(seed))
+                           rng=bench_rng(seed))
     if attack_name == "rtf":
         attack = RTFAttack(num_neurons)
     else:
@@ -34,7 +32,7 @@ def _crafted(dataset, attack_name, num_neurons=300, seed=31):
 
 def _run():
     dataset = cifar100_bench()
-    rng = np.random.default_rng(31)
+    rng = bench_rng(31)
     images, labels = dataset.sample_batch(8, rng)
     rows = []
     for attack_name in ("rtf", "cah"):

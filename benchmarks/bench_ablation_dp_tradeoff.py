@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import cifar100_bench, record_report
+from common import bench_rng, cifar100_bench, record_report
 from repro.defense import DPGradientDefense, OasisDefense
 from repro.experiments import format_table, run_attack_trial
 from repro.fl import compute_batch_gradients
@@ -23,10 +23,10 @@ NOISE_MULTIPLIERS = (0.0, 1e-7, 1e-5, 1e-3, 1e-1)
 
 def _gradient_distortion(dataset, defense, seed=29):
     """Relative L2 distortion the defense imposes on the uploaded update."""
-    rng = np.random.default_rng(seed)
+    rng = bench_rng(seed)
     images, labels = dataset.sample_batch(8, rng)
     model = ImprintedModel(dataset.image_shape, 200, dataset.num_classes,
-                           rng=np.random.default_rng(seed))
+                           rng=bench_rng(seed))
     attack = RTFAttack(200)
     attack.calibrate_from_public_data(dataset.images[:200])
     attack.craft(model)

@@ -28,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from common import imagenet_bench, record_report
+from common import bench_rng, imagenet_bench, record_report
 from repro.defense import OasisDefense
 from repro.experiments import ParticipationScenario, SweepRunner
 from repro.metrics import (
@@ -67,7 +67,7 @@ def _scalar_expand_batch(defense: OasisDefense, images, labels):
 
 
 def _batch(dataset, size: int, seed: int = 0):
-    rng = np.random.default_rng(seed)
+    rng = bench_rng(seed)
     return dataset.sample_batch(size, rng)
 
 
@@ -123,7 +123,7 @@ def _scalar_match(originals, reconstructions):
 def test_vectorized_matching_speedup(benchmark):
     dataset = imagenet_bench()
     originals, _ = _batch(dataset, BATCH_SIZE)
-    rng = np.random.default_rng(7)
+    rng = bench_rng(7)
     # A realistic attack output: some near-perfect hits, some mixtures.
     reconstructions = np.concatenate(
         [

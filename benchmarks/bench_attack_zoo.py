@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from common import cifar100_bench, record_report
+from common import bench_rng, cifar100_bench, record_report
 from repro.attacks import ImprintedModel, LinearClassifier, attack_spec, available_attacks, make_attack
 from repro.defense import OasisDefense
 from repro.experiments import format_table
@@ -48,15 +48,15 @@ def _one_round(attack_name: str, defense):
     if spec.model == "linear":
         model = LinearClassifier(
             dataset.image_shape, dataset.num_classes,
-            rng=np.random.default_rng(11),
+            rng=bench_rng(11),
         )
     else:
         model = ImprintedModel(
             dataset.image_shape, NUM_NEURONS, dataset.num_classes,
-            rng=np.random.default_rng(11),
+            rng=bench_rng(11),
         )
     attack.craft(model)
-    rng = np.random.default_rng(12345)
+    rng = bench_rng(12345)
     images, labels = dataset.sample_batch(BATCH_SIZE, rng)
     if defense is not None:
         train_images, train_labels = defense.expand_batch(images, labels)

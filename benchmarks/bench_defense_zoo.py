@@ -37,7 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
-from common import cifar100_bench, record_report
+from common import bench_rng, cifar100_bench, record_report
 from repro.attacks import ImprintedModel, make_attack
 from repro.defense import make_defense
 from repro.experiments import format_table
@@ -74,11 +74,11 @@ def _one_round(attack_name: str, defense_spec: str) -> dict:
     )
     model = ImprintedModel(
         dataset.image_shape, NUM_NEURONS, dataset.num_classes,
-        rng=np.random.default_rng(11),
+        rng=bench_rng(11),
     )
     attack.craft(model)
     defense = make_defense(defense_spec, seed=7)
-    rng = np.random.default_rng(12345)
+    rng = bench_rng(12345)
     images, labels = dataset.sample_batch(BATCH_SIZE, rng)
     start = time.perf_counter()
     grads, _, num_examples = compute_defended_update(

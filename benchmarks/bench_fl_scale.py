@@ -27,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from common import record_report
+from common import bench_rng, record_report
 from repro.data import make_synthetic_dataset
 from repro.fl import FederatedSimulation, FederationConfig, RoundBuffer, make_aggregator
 from repro.nn import MLP
@@ -49,7 +49,7 @@ _RESULTS: dict = {}
 
 
 def _make_updates(num_clients: int, seed: int = 0) -> list[dict[str, np.ndarray]]:
-    rng = np.random.default_rng(seed)
+    rng = bench_rng(seed)
     return [
         {name: rng.standard_normal(shape) for name, shape in PARAM_SHAPES.items()}
         for _ in range(num_clients)
@@ -139,7 +139,7 @@ def _rounds_per_sec(num_clients: int, dataset, rounds: int = 3) -> float:
     sim = FederatedSimulation(
         dataset,
         lambda: MLP([dataset.flat_dim, 16, dataset.num_classes],
-                    rng=np.random.default_rng(0)),
+                    rng=bench_rng(0)),
         config,
     )
     start = time.perf_counter()

@@ -11,9 +11,7 @@ vs WO arm under an identical batch stream — is what the table asserts.
 
 from __future__ import annotations
 
-import numpy as np
-
-from common import cifar_table1, imagenet_table1, record_report
+from common import bench_rng, cifar_table1, imagenet_table1, record_report
 from repro.data import train_test_split
 from repro.experiments import TABLE1_LINEUP, run_table1, table1_report
 from repro.nn import resnet18
@@ -31,7 +29,7 @@ PAPER_VALUES = {
 
 
 def _factory(num_classes):
-    return lambda: resnet18(num_classes, base_width=4, rng=np.random.default_rng(3))
+    return lambda: resnet18(num_classes, base_width=4, rng=bench_rng(3))
 
 
 def _run(dataset, weight_decay):

@@ -62,6 +62,7 @@ class ImprintedModel(Module):
         gradient_amplification: float = 1.0,
     ) -> None:
         super().__init__()
+        # repro-lint: disable=no-global-rng -- caller-convenience fallback for interactive use; every library path passes a fingerprint-seeded generator
         rng = rng if rng is not None else np.random.default_rng()
         self.input_shape = tuple(input_shape)
         flat_dim = int(np.prod(input_shape))

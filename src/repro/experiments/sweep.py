@@ -476,12 +476,14 @@ class SweepStore:
         if self._append_handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             if self.path.exists():
+                # repro-lint: disable=no-raw-write -- the append-only log is the one deliberate non-atomic writer: a put() appends O(1) bytes, a crash tears at most the final line (dropped on the next open), and compact() IS the atomic rewrite (atomic_write_lines)
                 self._append_handle = open(self.path, "r+b")
                 # Cut any torn tail a crash left so the next record
                 # starts on a clean line.
                 if self.path.stat().st_size > self._data_end:
                     self._append_handle.truncate(self._data_end)
             else:
+                # repro-lint: disable=no-raw-write -- creating the fresh log file for O(1) appends; same crash contract as above, compaction is the atomic path
                 self._append_handle = open(self.path, "w+b")
                 header = (_STORE_HEADER + "\n").encode("utf-8")
                 self._append_handle.write(header)
@@ -1393,7 +1395,7 @@ def headline_ordering_holds(
         if not is_failure(result) and result["attack"] == attack
     }
     checked = False
-    for scenario in scenarios:
+    for scenario in sorted(scenarios):
         baseline = outcome.results.get(SweepCell(attack, undefended, scenario).key)
         defended_cell = outcome.results.get(
             SweepCell(attack, defended, scenario).key

@@ -12,6 +12,7 @@ inspectable without an image viewer, and arrays can be saved as .npy.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -27,6 +28,7 @@ from repro.experiments.runner import make_attack
 from repro.fl.gradients import compute_batch_gradients
 from repro.metrics.psnr import psnr
 from repro.nn.losses import CrossEntropyLoss
+from repro.utils.checkpoint import atomic_write_bytes
 
 
 @dataclass
@@ -40,11 +42,23 @@ class Gallery:
     psnrs: list[float]
 
     def save(self, directory: str | Path) -> None:
+        """Persist both arrays crash-safely (atomic temp-file + replace).
+
+        A plain ``np.save`` straight to the target path leaves a torn,
+        unloadable ``.npy`` when the process dies mid-write; galleries are
+        artifacts other tooling loads later, so they get the same atomic
+        contract as every other persisted file in the repo.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         tag = f"{self.attack}_{self.defense}".replace("+", "_")
-        np.save(directory / f"{tag}_originals.npy", self.originals)
-        np.save(directory / f"{tag}_reconstructions.npy", self.reconstructions)
+        for name, array in (
+            ("originals", self.originals),
+            ("reconstructions", self.reconstructions),
+        ):
+            buffer = io.BytesIO()
+            np.save(buffer, array)  # repro-lint: disable=no-raw-write -- serializes into an in-memory buffer; the file write below is atomic
+            atomic_write_bytes(directory / f"{tag}_{name}.npy", buffer.getvalue())
 
 
 def reconstruction_gallery(

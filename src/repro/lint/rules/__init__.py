@@ -1,0 +1,40 @@
+"""The initial rule pack: the repo's real determinism invariants.
+
+Importing this package registers every built-in rule with the engine's
+registry (mirroring how :mod:`repro.attacks.registry` and
+:mod:`repro.defense.registry` register their zoos at import time — and
+for the same reason: every consumer, including subprocesses, sees the
+same rule set by importing one module).
+
+The rules, and the invariant each one guards:
+
+- ``no-global-rng`` (:mod:`.rng`): every random draw is seeded and
+  explicit — hidden global RNG state breaks serial/parallel/resumed
+  byte-identity.
+- ``no-raw-write`` (:mod:`.io`): library writes are atomic — a torn
+  half-write would poison resumable stores and golden files.
+- ``no-wallclock`` (:mod:`.wallclock`): cell execution and fingerprints
+  never read the wall clock — a timestamp in a result or a key makes two
+  identical runs differ.
+- ``sorted-iteration`` (:mod:`.ordering`): unordered collections (sets,
+  ``dict.keys()`` views, directory listings) are sorted before anything
+  order-sensitive consumes them.
+- ``picklable-entry`` (:mod:`.pickling`): callables crossing process
+  boundaries are module-level, so parallel executors work under every
+  start method.
+- ``registry-knob-sync`` (:mod:`.registry_sync`): declared attack/defense
+  knobs round-trip against their constructors, so a knob rename fails at
+  lint time instead of mid-sweep.
+
+Add-a-rule recipe: see EXPERIMENTS.md (mirrors add-an-attack /
+add-a-defense).
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    io,
+    ordering,
+    pickling,
+    registry_sync,
+    rng,
+    wallclock,
+)

@@ -1,0 +1,120 @@
+"""``registry-knob-sync``: declared knobs must round-trip the constructor.
+
+The attack and defense registries declare each entry's knobs
+(:class:`~repro.attacks.registry.AttackKnob`,
+:class:`~repro.defense.registry.DefenseKnob`) so that sweeps validate
+configuration up front.  But the declaration and the implementation can
+drift: rename a constructor parameter without updating the spec (or vice
+versa) and ``make_attack(name, **declared_defaults)`` raises ``TypeError``
+— at sweep time, one cell deep into a grid, on whichever worker drew the
+cell.  This rule performs the round-trip at lint time: every registered
+spec is *built* with all of its declared knobs at their defaults, so a
+mismatch fails the lint run (and the tier-1 mirror in
+``tests/test_lint_registry_sync.py``) instead of a sweep.
+
+This is the rule pack's one import-based (``scope="tree"``) rule: it runs
+the real registries rather than reading the AST, because the factory
+indirection (``factory(num_neurons, public_images, seed, **knobs)``
+forwarding into a class ``__init__``) is exactly what a static signature
+diff would miss.  Violations point at the ``name="..."`` line of the
+registration in the registry source.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Iterator, Optional
+
+from repro.lint.engine import Rule, Violation, register_rule
+
+
+def _registration_site(module, name: str) -> tuple[str, int]:
+    """(path, line) of the ``name="<name>"`` registration in ``module``."""
+    try:
+        path = inspect.getsourcefile(module) or "<unknown>"
+        source, start = inspect.getsourcelines(module)
+    except (OSError, TypeError):  # pragma: no cover - frozen/builtin module
+        return getattr(module, "__file__", "<unknown>") or "<unknown>", 1
+    needle = f'name="{name}"'
+    for offset, line in enumerate(source):
+        if needle in line:
+            return path, start + offset
+    return path, 1
+
+
+def _violation(module, name: str, kind: str, error: Exception,
+               hint: str) -> Violation:
+    path, line = _registration_site(module, name)
+    return Violation(
+        rule="registry-knob-sync", path=path, line=line, col=1,
+        message=(
+            f"{kind} {name!r}: building with all declared knob defaults "
+            f"failed ({type(error).__name__}: {error}) — the declared "
+            "knobs no longer match the constructor"
+        ),
+        hint=hint,
+    )
+
+
+def _check_attacks() -> Iterator[Violation]:
+    from repro.attacks import registry as attacks
+
+    for name in attacks.available_attacks():
+        spec = attacks.attack_spec(name)
+        knobs = {knob.name: knob.default for knob in spec.knobs}
+        try:
+            # public_images=None skips calibration: construction is the
+            # only thing under test, and it must accept every declared
+            # knob by its declared name.
+            attacks.make_attack(
+                name, num_neurons=6, public_images=None, seed=0, **knobs
+            )
+        except Exception as error:  # noqa: BLE001 - any failure is drift
+            yield _violation(
+                attacks, name, "attack", error,
+                "align AttackKnob names/defaults with the attack class "
+                "__init__ (or update the factory)",
+            )
+
+
+def _check_defenses() -> Iterator[Violation]:
+    from repro.defense import registry as defenses
+
+    for name in defenses.available_defenses():
+        spec = defenses.defense_spec(name)
+        knobs = {knob.name: knob.default for knob in spec.knobs}
+        try:
+            defenses.make_defense(name, **knobs)
+        except Exception as error:  # noqa: BLE001 - any failure is drift
+            yield _violation(
+                defenses, name, "defense", error,
+                "align DefenseKnob names/defaults with the defense factory "
+                "signature",
+            )
+
+
+def _check(contexts) -> Iterator[Violation]:
+    try:
+        yield from _check_attacks()
+        yield from _check_defenses()
+    except ImportError as error:
+        # The registries need numpy; a lint environment without it can
+        # still run every AST rule, but must not pretend this one passed.
+        yield Violation(
+            rule="registry-knob-sync", path="<registry>", line=1, col=1,
+            message=f"cannot import the registries to verify: {error}",
+            hint="run the linter in an environment with the repo's deps",
+        )
+
+
+RULE = register_rule(Rule(
+    name="registry-knob-sync",
+    check=_check,
+    description=(
+        "every registered attack/defense builds with its declared knob "
+        "defaults — knob renames fail at lint time, not sweep time"
+    ),
+    hint="keep registry knob declarations in sync with constructors",
+    profiles=("lib", "bench"),
+    scope="tree",
+))

@@ -24,6 +24,7 @@ from repro.tensor import (
 
 
 def _default_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    # repro-lint: disable=no-global-rng -- caller-convenience fallback for interactive use; every library path passes a fingerprint-seeded generator
     return rng if rng is not None else np.random.default_rng()
 
 

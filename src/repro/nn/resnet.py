@@ -68,6 +68,7 @@ class ResNet(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
+        # repro-lint: disable=no-global-rng -- caller-convenience fallback for interactive use; every library path passes a fingerprint-seeded generator
         rng = rng if rng is not None else np.random.default_rng()
         widths = [base_width, base_width * 2, base_width * 4, base_width * 8]
         self.stem_conv = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
@@ -123,6 +124,7 @@ def small_cnn(
     rng: Optional[np.random.Generator] = None,
 ) -> Module:
     """A compact conv net for fast integration tests and FL round smoke runs."""
+    # repro-lint: disable=no-global-rng -- caller-convenience fallback for interactive use; every library path passes a fingerprint-seeded generator
     rng = rng if rng is not None else np.random.default_rng()
     from repro.nn.layers import Flatten, MaxPool2d
 

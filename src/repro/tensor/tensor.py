@@ -528,6 +528,7 @@ class Tensor:
 
     @staticmethod
     def randn(*shape: int, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        # repro-lint: disable=no-global-rng -- caller-convenience fallback for interactive use; every library path passes a fingerprint-seeded generator
         rng = rng if rng is not None else np.random.default_rng()
         return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
 

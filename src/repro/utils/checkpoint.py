@@ -29,6 +29,7 @@ def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
     )
     try:
+        # repro-lint: disable=no-raw-write -- this IS the atomic writer: the raw write targets a same-directory temp file, fsyncs, and os.replace()s into place
         with os.fdopen(descriptor, "wb") as handle:
             handle.write(payload)
             handle.flush()
@@ -69,6 +70,7 @@ def atomic_write_lines(path: str | Path, lines) -> Path:
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
     )
     try:
+        # repro-lint: disable=no-raw-write -- same atomic-writer internals as atomic_write_bytes: temp file, fsync, os.replace
         with os.fdopen(
             descriptor, "w", encoding="utf-8", newline="\n"
         ) as handle:
@@ -96,7 +98,7 @@ def save_state(path: str | Path, state: dict[str, np.ndarray]) -> Path:
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     buffer = io.BytesIO()
-    np.savez(buffer, **state)
+    np.savez(buffer, **state)  # repro-lint: disable=no-raw-write -- serializes into an in-memory buffer; the file write below is atomic
     return atomic_write_bytes(path, buffer.getvalue())
 
 

@@ -1,0 +1,112 @@
+"""Tier-1 mirror of the ``registry-knob-sync`` lint rule.
+
+The registries declare each entry's knobs so sweeps can validate
+configuration up front; this suite proves every declaration still
+round-trips its constructor — ``make_attack``/``make_defense`` with *all*
+declared knobs at their defaults must build — so a knob rename fails here
+(and in the lint run) instead of one cell deep into a sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.registry import (
+    AttackKnob,
+    AttackSpec,
+    attack_spec,
+    available_attacks,
+    make_attack,
+    register_attack,
+    unregister_attack,
+)
+from repro.defense.registry import (
+    DefenseKnob,
+    DefenseSpec,
+    available_defenses,
+    defense_spec,
+    make_defense,
+    register_defense,
+    unregister_defense,
+)
+from repro.lint.rules.registry_sync import _check as knob_sync_check
+
+
+class TestAttackKnobRoundTrip:
+    @pytest.mark.parametrize("name", available_attacks())
+    def test_spec_builds_with_declared_defaults(self, name):
+        spec = attack_spec(name)
+        knobs = {knob.name: knob.default for knob in spec.knobs}
+        attack = make_attack(
+            name, num_neurons=6, public_images=None, seed=0, **knobs
+        )
+        assert attack is not None
+
+    @pytest.mark.parametrize("name", available_attacks())
+    def test_knob_declarations_are_well_formed(self, name):
+        spec = attack_spec(name)
+        names = [knob.name for knob in spec.knobs]
+        assert len(names) == len(set(names)), f"duplicate knobs on {name}"
+        for knob in spec.knobs:
+            assert knob.name.isidentifier()
+
+
+class TestDefenseKnobRoundTrip:
+    @pytest.mark.parametrize("name", available_defenses())
+    def test_spec_builds_with_declared_defaults(self, name):
+        spec = defense_spec(name)
+        knobs = {knob.name: knob.default for knob in spec.knobs}
+        defense = make_defense(name, **knobs)
+        assert defense is not None
+
+    @pytest.mark.parametrize("name", available_defenses())
+    def test_knob_declarations_are_well_formed(self, name):
+        spec = defense_spec(name)
+        names = [knob.name for knob in spec.knobs]
+        assert len(names) == len(set(names)), f"duplicate knobs on {name}"
+        for knob in spec.knobs:
+            assert knob.name.isidentifier()
+
+
+class TestLintRuleMirrorsThisSuite:
+    def test_rule_passes_on_committed_registries(self):
+        assert list(knob_sync_check([])) == []
+
+    def test_rule_catches_attack_knob_drift(self):
+        """Register a spec whose declared knob the factory rejects."""
+
+        def factory(num_neurons, public_images, seed, *, real_knob=1.0):
+            raise AssertionError("must not be reached with a bogus knob")
+
+        register_attack(AttackSpec(
+            name="drifted_attack",
+            factory=factory,
+            knobs=(AttackKnob("renamed_knob", 1.0, "stale declaration"),),
+        ))
+        try:
+            violations = list(knob_sync_check([]))
+        finally:
+            unregister_attack("drifted_attack")
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.rule == "registry-knob-sync"
+        assert "drifted_attack" in violation.message
+        assert violation.line > 0 and violation.hint
+
+    def test_rule_catches_defense_knob_drift(self):
+        def factory(*, real_knob=0.5):
+            raise AssertionError("must not be reached with a bogus knob")
+
+        register_defense(DefenseSpec(
+            name="drifted_defense",
+            factory=factory,
+            knobs=(DefenseKnob("renamed_knob", 0.5, "stale declaration"),),
+        ))
+        try:
+            violations = list(knob_sync_check([]))
+        finally:
+            unregister_defense("drifted_defense")
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.rule == "registry-knob-sync"
+        assert "drifted_defense" in violation.message
