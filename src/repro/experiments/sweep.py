@@ -184,6 +184,41 @@ DEFAULT_SCENARIOS: tuple[ParticipationScenario, ...] = (
     ),
 )
 
+# The secure-aggregation scenario axis: the aggregation rule (plain
+# masked-sum vs the two real SecAgg protocol rounds) crossed with the
+# commit-then-drop regime those protocols exist to survive.  Under the
+# protocol arms the dishonest server never sees individual updates, so
+# per-update inversion attacks collapse to zero reconstructions while
+# aggregate-reconstructing attacks (LOKI) keep their hook — the sweep
+# quantifies exactly that separation.  A dropout draw that leaves fewer
+# survivors than the t = n//2 + 1 threshold aborts the round gracefully
+# (recorded in ``RoundRecord.secagg``) rather than failing the cell.
+SECAGG_SCENARIOS: tuple[ParticipationScenario, ...] = (
+    ParticipationScenario("plain", num_clients=6, aggregator="masked_sum"),
+    ParticipationScenario(
+        "plain-drop", num_clients=6, dropout_rate=0.25, aggregator="masked_sum"
+    ),
+    ParticipationScenario("secagg", num_clients=6, aggregator="secagg"),
+    ParticipationScenario(
+        "secagg-drop", num_clients=6, dropout_rate=0.25, aggregator="secagg"
+    ),
+    ParticipationScenario(
+        "oneshot", num_clients=6, aggregator="secagg_oneshot"
+    ),
+    ParticipationScenario(
+        "oneshot-drop",
+        num_clients=6,
+        dropout_rate=0.25,
+        aggregator="secagg_oneshot",
+    ),
+)
+
+# Named scenario axes the CLI can swap in wholesale (--scenario-axis).
+SCENARIO_AXES: dict[str, tuple[ParticipationScenario, ...]] = {
+    "default": DEFAULT_SCENARIOS,
+    "secagg": SECAGG_SCENARIOS,
+}
+
 # The defense arms of the paper's figures: no defense plus every named
 # transformation suite (Fig. 5 singles and the Fig. 6 MR+SH integration).
 # Any registered defense spec (see repro.defense.registry) can extend the
@@ -1432,6 +1467,7 @@ def _smoke_runner(
     store,
     attacks: Optional[Sequence[str]] = None,
     defenses: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[ParticipationScenario]] = None,
 ) -> SweepRunner:
     """2-cell sanity grid: rtf x (WO, MR) x full participation, seconds."""
     dataset = make_synthetic_dataset(
@@ -1441,7 +1477,7 @@ def _smoke_runner(
         dataset,
         attacks=attacks or ("rtf",),
         defenses=defenses or ("WO", "MR"),
-        scenarios=(ParticipationScenario("full", num_clients=2),),
+        scenarios=scenarios or (ParticipationScenario("full", num_clients=2),),
         batch_size=3,
         num_neurons=48,
         public_size=48,
@@ -1457,6 +1493,7 @@ def _default_runner(
     store,
     attacks: Optional[Sequence[str]] = None,
     defenses: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[ParticipationScenario]] = None,
 ) -> SweepRunner:
     """8-cell working grid: rtf x 4 suites x 2 participation shapes."""
     dataset = make_synthetic_dataset(
@@ -1466,7 +1503,7 @@ def _default_runner(
         dataset,
         attacks=attacks or ("rtf",),
         defenses=defenses or ("WO", "MR", "SH", "MR+SH"),
-        scenarios=DEFAULT_SCENARIOS[:2],
+        scenarios=scenarios or DEFAULT_SCENARIOS[:2],
         batch_size=4,
         num_neurons=64,
         public_size=64,
@@ -1482,13 +1519,14 @@ def _acceptance_runner(
     store,
     attacks: Optional[Sequence[str]] = None,
     defenses: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[ParticipationScenario]] = None,
 ) -> SweepRunner:
     """The 24-cell acceptance grid on the CIFAR100 stand-in (minutes)."""
     return SweepRunner(
         synthetic_cifar100(samples_per_class=2, seed=2002),
         attacks=attacks or ("rtf", "cah"),
         defenses=defenses or ("WO", "MR", "SH", "MR+SH"),
-        scenarios=DEFAULT_SCENARIOS[:3],
+        scenarios=scenarios or DEFAULT_SCENARIOS[:3],
         batch_size=4,
         num_neurons=64,
         public_size=100,
@@ -1569,6 +1607,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{', '.join(available_defenses())}"
         ),
     )
+    parser.add_argument(
+        "--scenario-axis",
+        choices=sorted(SCENARIO_AXES),
+        default=None,
+        help=(
+            "replace the preset's participation-scenario axis with a named "
+            "axis: 'secagg' crosses the aggregation rule (plain masked_sum "
+            "vs the SecAgg protocol rounds) with the commit-then-drop "
+            "dropout regime"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
     parser.add_argument(
         "--rounds", type=int, default=1, help="federation rounds per cell"
@@ -1631,6 +1680,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         store=store_path,
         attacks=attacks,
         defenses=defenses,
+        scenarios=(
+            SCENARIO_AXES[args.scenario_axis]
+            if args.scenario_axis is not None
+            else None
+        ),
     )
 
     def report(event: CellEvent) -> None:

@@ -4,9 +4,11 @@ from repro.fl.aggregators import (
     Aggregator,
     CoordinateMedianAggregator,
     FedAvgAggregator,
+    FixedPointCodec,
     MaskedSumAggregator,
     RoundBuffer,
     TrimmedMeanAggregator,
+    aggregator_names,
     flat_spec,
     flatten_updates,
     make_aggregator,
@@ -21,6 +23,14 @@ from repro.fl.gradients import (
     per_sample_gradients,
 )
 from repro.fl.messages import GradientUpdate, ModelBroadcast, RoundRecord
+from repro.fl.secagg import (
+    BelowThresholdError,
+    OneShotRecoveryAggregator,
+    OneShotRecoveryProtocol,
+    SecAggAggregator,
+    SecAggError,
+    SecAggProtocol,
+)
 from repro.fl.server import DishonestServer, Server
 from repro.fl.simulator import (
     FederatedSimulation,
@@ -36,7 +46,15 @@ __all__ = [
     "CoordinateMedianAggregator",
     "TrimmedMeanAggregator",
     "MaskedSumAggregator",
+    "FixedPointCodec",
+    "SecAggAggregator",
+    "OneShotRecoveryAggregator",
+    "SecAggProtocol",
+    "OneShotRecoveryProtocol",
+    "SecAggError",
+    "BelowThresholdError",
     "make_aggregator",
+    "aggregator_names",
     "RoundBuffer",
     "flat_spec",
     "flatten_updates",

@@ -25,6 +25,8 @@ Four rules ship with the engine:
 
 from __future__ import annotations
 
+import warnings
+from importlib import import_module
 from typing import Sequence
 
 import numpy as np
@@ -137,9 +139,24 @@ class Aggregator:
     Subclasses implement :meth:`reduce` over the stacked ``(K, dim)``
     update matrix; :meth:`aggregate` handles packing/unpacking of the
     named-gradient dicts so every rule gets the vectorized path for free.
+    Rules whose output depends on the round (mask derivation, protocol
+    sessions) override :meth:`_reduce_round` instead and key everything
+    off the ``round_index`` the server passes — never off hidden
+    instance state, which a resumed or replayed round would not share.
+
+    ``honours_weights`` declares whether the rule can apply per-client
+    weights at all; passing weights to a rule that cannot raises a
+    one-time :class:`RuntimeWarning` per instance instead of silently
+    discarding them.
     """
 
     name = "base"
+    honours_weights = True
+    # True for protocol rules that need the server to treat selection as
+    # a commitment (mask seeds are shared before uploads; dropouts after
+    # that point are recovered, not resampled).
+    requires_commitment = False
+    _warned_weights = False
 
     def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
         """Reduce a (num_clients, dim) matrix to the (dim,) aggregate.
@@ -149,20 +166,47 @@ class Aggregator:
         """
         raise NotImplementedError
 
+    def _reduce_round(
+        self, matrix: np.ndarray, weights: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """Round-aware reduction hook; defaults to the stateless rule."""
+        return self.reduce(matrix, weights)
+
+    def _check_weights(self, weights: Sequence[float] | None) -> None:
+        """Warn (once per instance) when weights reach an unweighted rule."""
+        if weights is None or self.honours_weights or self._warned_weights:
+            return
+        self._warned_weights = True
+        warnings.warn(
+            f"the {self.name!r} aggregator cannot honour per-client weights; "
+            "aggregating uniformly (recorded as weighting='uniform')",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def effective_weighting(self, weights: Sequence[float] | None) -> str:
+        """The weighting actually applied: ``"weighted"`` or ``"uniform"``."""
+        return "weighted" if weights is not None and self.honours_weights else "uniform"
+
     def aggregate(
         self,
         updates: Sequence[dict[str, np.ndarray]],
         weights: Sequence[float] | None = None,
+        round_index: int = 0,
     ) -> dict[str, np.ndarray]:
         """Aggregate named-gradient dicts into one named-gradient dict."""
+        self._check_weights(weights)
         matrix, spec = flatten_updates(updates)
-        reduced = self.reduce(matrix, _normalized_weights(weights, len(updates)))
+        reduced = self._reduce_round(
+            matrix, _normalized_weights(weights, len(updates)), round_index
+        )
         return unflatten_vector(reduced, spec)
 
     def aggregate_buffer(
         self,
         buffer: RoundBuffer,
         weights: Sequence[float] | None = None,
+        round_index: int = 0,
     ) -> dict[str, np.ndarray]:
         """Aggregate an ingest-stacked :class:`RoundBuffer` (the hot path).
 
@@ -172,8 +216,9 @@ class Aggregator:
         """
         if not len(buffer):
             raise ValueError("no updates to aggregate")
-        reduced = self.reduce(
-            buffer.matrix, _normalized_weights(weights, len(buffer))
+        self._check_weights(weights)
+        reduced = self._reduce_round(
+            buffer.matrix, _normalized_weights(weights, len(buffer)), round_index
         )
         return unflatten_vector(reduced, buffer.spec)
 
@@ -202,6 +247,7 @@ class CoordinateMedianAggregator(Aggregator):
     """
 
     name = "median"
+    honours_weights = False
 
     def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
         return np.median(matrix, axis=0)
@@ -216,6 +262,7 @@ class TrimmedMeanAggregator(Aggregator):
     """
 
     name = "trimmed_mean"
+    honours_weights = False
 
     def __init__(self, trim_ratio: float = 0.1) -> None:
         if not 0.0 <= trim_ratio < 0.5:
@@ -234,6 +281,69 @@ class TrimmedMeanAggregator(Aggregator):
         return f"{type(self).__name__}(trim_ratio={self.trim_ratio})"
 
 
+class FixedPointCodec:
+    """Fixed-point quantization into a modular ring, exact up to a sum bound.
+
+    Encodes floats as ``round(value * 2**fractional_bits)`` signed
+    integers; every masked-sum flavour (the in-aggregator model below and
+    the ``repro.fl.secagg`` protocols) shares this codec so "recovers the
+    exact quantized sum bit-for-bit" means the same bits everywhere.
+
+    ``sum_limit`` bounds the magnitude the *summed* quantized values may
+    reach: ``2**63`` for the two's-complement uint64 ring (int64 range),
+    or the field codecs' tighter primes.  :meth:`quantize` rejects any
+    batch whose worst-case sum ``count * max|q|`` could reach the limit —
+    silent modular wraparound would otherwise corrupt the aggregate.
+    """
+
+    def __init__(
+        self, fractional_bits: int = 16, sum_limit: float = 2.0 ** 63
+    ) -> None:
+        if fractional_bits < 0:
+            raise ValueError("fractional_bits must be non-negative")
+        if not 0 < sum_limit <= 2.0 ** 63:
+            raise ValueError("sum_limit must be in (0, 2**63]")
+        self.fractional_bits = fractional_bits
+        self.scale = float(2 ** fractional_bits)
+        self.sum_limit = float(sum_limit)
+
+    def quantize(self, matrix: np.ndarray, count: int | None = None) -> np.ndarray:
+        """Encode floats into the uint64 ring (two's-complement int64 view).
+
+        ``count`` is the number of values that may be summed (defaults to
+        the batch's row count); the guard checks the *rounded* magnitudes,
+        so a batch passes iff its true quantized sum provably fits.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        rows = len(matrix) if matrix.ndim > 1 else 1
+        count = max(count if count is not None else rows, 1)
+        scaled = np.rint(matrix * self.scale)
+        magnitude = float(np.max(np.abs(scaled))) if scaled.size else 0.0
+        if not magnitude * count < self.sum_limit:
+            limit = self.sum_limit / self.scale / count
+            raise ValueError(
+                f"update magnitude {magnitude / self.scale:.3g} exceeds the "
+                f"masked-sum fixed-point range ({limit:.3g} for {count} "
+                f"clients at {self.fractional_bits} fractional bits); clip "
+                "updates or lower fractional_bits"
+            )
+        return scaled.astype(np.int64).view(np.uint64)
+
+    def dequantize_sum(self, total: np.ndarray) -> np.ndarray:
+        """Decode a ring sum back to floats (int64 two's-complement view)."""
+        return np.asarray(total, dtype=np.uint64).view(np.int64).astype(
+            np.float64
+        ) / self.scale
+
+    def exact_sum(self, matrix: np.ndarray, count: int | None = None) -> np.ndarray:
+        """The plain fixed-point sum a protocol must recover bit-for-bit."""
+        total = self.quantize(matrix, count=count).sum(axis=0, dtype=np.uint64)
+        return self.dequantize_sum(total)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(fractional_bits={self.fractional_bits})"
+
+
 class MaskedSumAggregator(Aggregator):
     """Secure-aggregation-style masked sum with pairwise-cancelling masks.
 
@@ -245,28 +355,32 @@ class MaskedSumAggregator(Aggregator):
        into a mask drawn uniformly over the ring; ``i`` adds it, ``j``
        subtracts it (mod ``2**64``), so each masked upload is uniformly
        random on its own.  (Dropout is modeled by generating masks among
-       the survivors only — the real protocol's mask-recovery phase.)
+       the survivors only; a client dropping *after* masks are committed
+       is out of scope here — that is what the real protocol rounds in
+       :mod:`repro.fl.secagg` exist for.)
     3. The server sums the masked uploads in the ring; the masks cancel
        *exactly*, so the result equals the plain quantized sum bit-for-bit
        (integer arithmetic has no rounding), which is then dequantized.
 
     Weights are ignored: a secure sum reveals only the uniform total, so
-    :meth:`reduce` returns ``sum / K`` to stay mean-scaled like FedAvg.
+    the reduction returns ``sum / K`` to stay mean-scaled like FedAvg.
     Exact while the true quantized sum stays within int64, i.e.
-    ``K * max|g| * 2**fractional_bits < 2**63``.  Mask expansion is
-    O(K^2 * dim) — faithful to the pairwise protocol, so keep federations
-    in the tens of clients when using this rule.
+    ``K * max|round(g * 2**fractional_bits)| < 2**63`` — the codec guard
+    enforces exactly this bound.  Mask derivation is keyed by the round
+    index the server passes, so replaying or resuming a round draws the
+    identical mask stream no matter how many rounds the instance served.
+    Mask expansion is O(K^2 * dim) — faithful to the pairwise protocol,
+    so keep federations in the tens of clients when using this rule.
     """
 
     name = "masked_sum"
+    honours_weights = False
 
     def __init__(self, fractional_bits: int = 16, seed: int = 0) -> None:
-        if fractional_bits < 0:
-            raise ValueError("fractional_bits must be non-negative")
+        self.codec = FixedPointCodec(fractional_bits)
         self.fractional_bits = fractional_bits
-        self.scale = float(2 ** fractional_bits)
+        self.scale = self.codec.scale
         self._seed = seed
-        self._round = 0
 
     def quantize(self, matrix: np.ndarray) -> np.ndarray:
         """Fixed-point encode a float matrix into the uint64 ring.
@@ -274,22 +388,14 @@ class MaskedSumAggregator(Aggregator):
         Rejects updates whose quantized sum could leave the int64 range —
         silent modular wraparound would otherwise corrupt the aggregate.
         """
-        limit = 2.0 ** 62 / self.scale / max(len(matrix), 1)
-        magnitude = float(np.max(np.abs(matrix))) if matrix.size else 0.0
-        if not magnitude < limit:
-            raise ValueError(
-                f"update magnitude {magnitude:.3g} exceeds the masked-sum "
-                f"fixed-point range ({limit:.3g} for {len(matrix)} clients at "
-                f"{self.fractional_bits} fractional bits); clip updates or "
-                "lower fractional_bits"
-            )
-        return np.rint(matrix * self.scale).astype(np.int64).view(np.uint64)
+        return self.codec.quantize(matrix)
 
-    def mask_updates(self, matrix: np.ndarray) -> np.ndarray:
+    def mask_updates(self, matrix: np.ndarray, round_index: int = 0) -> np.ndarray:
         """Quantize and mask the (K, dim) update matrix — what clients upload.
 
-        Every call draws a fresh round of pairwise masks (a new protocol
-        execution), derived deterministically from the aggregator seed.
+        Masks derive from ``(seed, round_index)`` alone: the same round
+        always draws the same masks (replay/resume safe) and distinct
+        rounds draw independent ones.
         """
         masked = self.quantize(matrix).copy()
         count, dim = masked.shape
@@ -297,7 +403,7 @@ class MaskedSumAggregator(Aggregator):
             return masked
         ceiling = np.iinfo(np.uint64).max
         seeds = iter(
-            np.random.SeedSequence((self._seed, self._round)).spawn(
+            np.random.SeedSequence((self._seed, int(round_index))).spawn(
                 count * (count - 1) // 2
             )
         )
@@ -313,16 +419,19 @@ class MaskedSumAggregator(Aggregator):
     def unmask_sum(self, masked: np.ndarray) -> np.ndarray:
         """Ring-sum masked uploads and dequantize the recovered plain sum."""
         total = masked.sum(axis=0, dtype=np.uint64)
-        return total.view(np.int64).astype(np.float64) / self.scale
+        return self.codec.dequantize_sum(total)
 
     def exact_sum(self, matrix: np.ndarray) -> np.ndarray:
         """The unmasked fixed-point sum the protocol must recover bit-for-bit."""
-        total = self.quantize(matrix).sum(axis=0, dtype=np.uint64)
-        return total.view(np.int64).astype(np.float64) / self.scale
+        return self.codec.exact_sum(matrix)
 
     def reduce(self, matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
-        masked = self.mask_updates(matrix)
-        self._round += 1
+        return self._reduce_round(matrix, weights, 0)
+
+    def _reduce_round(
+        self, matrix: np.ndarray, weights: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        masked = self.mask_updates(matrix, round_index)
         return self.unmask_sum(masked) / len(matrix)
 
     def __repr__(self) -> str:
@@ -339,6 +448,21 @@ _AGGREGATORS: dict[str, type[Aggregator]] = {
     "secure_agg": MaskedSumAggregator,
 }
 
+# Protocol aggregators live in repro.fl.secagg, which itself builds on
+# this module — resolving them lazily (module path, attribute) keeps the
+# registry complete without a circular import at package load.
+_LAZY_AGGREGATORS: dict[str, tuple[str, str]] = {
+    "secagg": ("repro.fl.secagg.aggregators", "SecAggAggregator"),
+    "secagg_bonawitz": ("repro.fl.secagg.aggregators", "SecAggAggregator"),
+    "secagg_oneshot": ("repro.fl.secagg.aggregators", "OneShotRecoveryAggregator"),
+    "lightsecagg": ("repro.fl.secagg.aggregators", "OneShotRecoveryAggregator"),
+}
+
+
+def aggregator_names() -> list[str]:
+    """Every registered aggregator name (eager and lazy), sorted."""
+    return sorted(set(_AGGREGATORS) | set(_LAZY_AGGREGATORS))
+
 
 def make_aggregator(spec: "str | type[Aggregator] | Aggregator" = "fedavg", **kwargs) -> Aggregator:
     """Resolve an aggregator from a registry name, class, or instance.
@@ -346,7 +470,9 @@ def make_aggregator(spec: "str | type[Aggregator] | Aggregator" = "fedavg", **kw
     Accepts an :class:`Aggregator` instance (returned as-is; ``kwargs``
     must be empty), an ``Aggregator`` subclass, or one of the registered
     names: ``fedavg``/``mean``, ``median``/``coordinate_median``,
-    ``trimmed_mean``, ``masked_sum``/``secure_agg``.
+    ``trimmed_mean``, ``masked_sum``/``secure_agg``, and the protocol
+    rules ``secagg``/``secagg_bonawitz``, ``secagg_oneshot``/
+    ``lightsecagg``.
     """
     if isinstance(spec, Aggregator):
         if kwargs:
@@ -354,10 +480,13 @@ def make_aggregator(spec: "str | type[Aggregator] | Aggregator" = "fedavg", **kw
         return spec
     if isinstance(spec, type) and issubclass(spec, Aggregator):
         return spec(**kwargs)
-    try:
-        cls = _AGGREGATORS[str(spec).lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown aggregator {spec!r}; choose from {sorted(_AGGREGATORS)}"
-        ) from None
-    return cls(**kwargs)
+    key = str(spec).lower()
+    if key in _AGGREGATORS:
+        return _AGGREGATORS[key](**kwargs)
+    if key in _LAZY_AGGREGATORS:
+        module_path, attribute = _LAZY_AGGREGATORS[key]
+        cls = getattr(import_module(module_path), attribute)
+        return cls(**kwargs)
+    raise ValueError(
+        f"unknown aggregator {spec!r}; choose from {aggregator_names()}"
+    )

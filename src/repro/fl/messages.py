@@ -31,6 +31,115 @@ class GradientUpdate:
 
 
 @dataclass
+class KeyAdvertisement:
+    """Client -> server -> all: a client's public key for this round.
+
+    First message of a Bonawitz-style round; every pair of committed
+    clients derives its pairwise mask seed from the two advertisements.
+    """
+
+    client_id: int
+    round_index: int
+    public_key: int
+
+
+@dataclass
+class SecretShareBundle:
+    """Client -> client (via server): Shamir shares of the sender's seeds.
+
+    ``seed_share`` shares the sender's Diffie–Hellman secret key (so the
+    server can cancel a *dropped* sender's pairwise masks) and
+    ``self_mask_share`` shares the sender's self-mask seed (so the server
+    can cancel a *surviving* sender's self mask).  ``share_x`` is the
+    recipient's 1-indexed Shamir x-coordinate.
+    """
+
+    sender_id: int
+    recipient_id: int
+    round_index: int
+    share_x: int
+    seed_share: int
+    self_mask_share: int
+
+
+@dataclass
+class MaskedUpload:
+    """Client -> server: the masked quantized update.
+
+    ``payload`` is uniformly random on its own — in the ``uint64`` ring
+    for the Bonawitz-style protocol, in GF(2**61 - 1) for the one-shot
+    recovery protocol.  The server learns an individual update only by
+    breaking the masking, never from this message.
+    """
+
+    client_id: int
+    round_index: int
+    num_examples: int
+    payload: np.ndarray
+    loss: float = 0.0
+
+
+@dataclass
+class UnmaskRequest:
+    """Server -> survivors: the round's survivor/dropped split.
+
+    Asks each survivor for the shares the server needs: self-mask shares
+    for the survivors, secret-key shares for the dropped.
+    """
+
+    round_index: int
+    survivor_ids: list[int]
+    dropped_ids: list[int]
+
+
+@dataclass
+class UnmaskResponse:
+    """Survivor -> server: the shares answering an :class:`UnmaskRequest`.
+
+    Maps sender id -> this survivor's share of that sender's self-mask
+    seed (for survivors) or secret key (for dropped clients).  A client
+    never reveals both kinds of share for the same sender — that would
+    hand the server everything needed to unmask a live upload.
+    """
+
+    client_id: int
+    round_index: int
+    share_x: int
+    self_mask_shares: dict[int, int] = field(default_factory=dict)
+    seed_shares: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class EncodedMaskSegment:
+    """Client -> client (via server): one Lagrange-coded mask segment.
+
+    LightSecAgg-style offline phase: the sender's full-size mask is
+    encoded into ``n`` segments, one per committed client, such that any
+    ``threshold`` of them reconstruct the mask polynomial.
+    """
+
+    sender_id: int
+    recipient_id: int
+    round_index: int
+    segment: np.ndarray
+
+
+@dataclass
+class AggregatedMaskSegment:
+    """Survivor -> server: the one-shot recovery message.
+
+    The survivor sums the encoded segments it holds *for the survivor
+    set* and sends that single aggregate; ``threshold`` such messages let
+    the server interpolate the summed mask directly — one round-trip,
+    regardless of how many clients dropped.
+    """
+
+    client_id: int
+    round_index: int
+    segment: np.ndarray
+
+
+@dataclass
 class RoundRecord:
     """Bookkeeping for one completed FL round.
 
@@ -42,6 +151,15 @@ class RoundRecord:
     whose updates missed the round deadline, and ``stale_ids`` the late
     updates from a *previous* round aggregated now (only when the server
     runs with ``accept_stale=True``).
+
+    ``weighting`` records the weighting that was actually applied —
+    ``"weighted"`` only when the server passed example-count weights *and*
+    the aggregation rule honours weights, else ``"uniform"`` — so sweeps
+    cannot misreport a weighted run through an unweighted rule.
+    ``secagg`` is ``None`` outside protocol rounds; under a secure-
+    aggregation protocol it carries the round's protocol metadata
+    (committed/survivor counts, threshold, recovered dropouts, or the
+    abort reason when survivors fell below threshold).
     """
 
     round_index: int
@@ -53,6 +171,8 @@ class RoundRecord:
     straggler_ids: list[int] = field(default_factory=list)
     stale_ids: list[int] = field(default_factory=list)
     aggregator: str = "fedavg"
+    weighting: str = "uniform"
+    secagg: dict | None = None
 
     @property
     def num_selected(self) -> int:

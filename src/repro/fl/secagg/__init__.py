@@ -1,0 +1,40 @@
+"""Secure-aggregation protocol rounds with mid-round dropout recovery.
+
+Two protocol families, both exact (the server recovers the bit-for-bit
+fixed-point sum of the survivors' updates) and both surviving clients
+that drop *after* mask commitment:
+
+- :class:`SecAggProtocol` — Bonawitz-style: pairwise Diffie–Hellman
+  masks plus a self mask, with Shamir t-of-n sharing of the seeds so
+  survivors can hand the server what it needs to cancel dropped
+  clients' masks (:mod:`repro.fl.secagg.protocol`).
+- :class:`OneShotRecoveryProtocol` — LightSecAgg-style: masks are
+  Lagrange-encoded and segment-shared offline, so recovery is a single
+  aggregated segment per survivor (:mod:`repro.fl.secagg.lightsecagg`).
+
+Both surface as first-class aggregation rules (``"secagg"`` and
+``"secagg_oneshot"`` in the aggregator registry) that the FL server
+drives through a commit-then-recover round shape.
+"""
+
+from .aggregators import (
+    OneShotRecoveryAggregator,
+    ProtocolAggregator,
+    SecAggAggregator,
+)
+from .base import BelowThresholdError, SecAggError, default_threshold
+from .lightsecagg import OneShotRecoveryProtocol, OneShotRound
+from .protocol import SecAggProtocol, SecAggRound
+
+__all__ = [
+    "BelowThresholdError",
+    "OneShotRecoveryAggregator",
+    "OneShotRecoveryProtocol",
+    "OneShotRound",
+    "ProtocolAggregator",
+    "SecAggAggregator",
+    "SecAggError",
+    "SecAggProtocol",
+    "SecAggRound",
+    "default_threshold",
+]

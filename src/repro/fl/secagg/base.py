@@ -1,0 +1,42 @@
+"""Shared error types for the secure-aggregation protocol stack.
+
+Kept free of intra-package imports so :mod:`repro.fl.server` can catch
+protocol failures without pulling in the protocol implementations at
+import time (the aggregator registry resolves those lazily).
+"""
+
+from __future__ import annotations
+
+
+class SecAggError(RuntimeError):
+    """Base class for secure-aggregation protocol failures."""
+
+
+class BelowThresholdError(SecAggError):
+    """Raised when fewer than ``threshold`` clients survive to unmasking.
+
+    Below the Shamir threshold the server cannot reconstruct the dropped
+    clients' mask seeds, so the round is unrecoverable *by design* — the
+    same shares that enable dropout recovery must never let a server with
+    too few cooperating clients unmask an individual update.
+    """
+
+    def __init__(self, survivors: int, threshold: int) -> None:
+        super().__init__(
+            f"only {survivors} clients survive to unmasking but the "
+            f"protocol threshold is {threshold}; the round cannot be "
+            "recovered (and must not be, or the threshold would be "
+            "meaningless)"
+        )
+        self.survivors = survivors
+        self.threshold = threshold
+
+
+def default_threshold(num_clients: int) -> int:
+    """The default Shamir threshold: a strict majority of the committed set.
+
+    ``floor(n / 2) + 1`` tolerates up to half the fleet dropping after
+    mask commitment while keeping any colluding minority unable to
+    reconstruct seeds on its own.
+    """
+    return num_clients // 2 + 1

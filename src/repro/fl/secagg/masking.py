@@ -1,0 +1,60 @@
+"""Mask expansion and key agreement primitives for the SecAgg protocols.
+
+Two mask domains coexist:
+
+- the Bonawitz-style protocol masks quantized updates in the full
+  ``uint64`` ring (``mod 2**64``), matching the fixed-point encoding of
+  :class:`~repro.fl.aggregators.MaskedSumAggregator` exactly, so the
+  recovered sum is bit-for-bit the plain quantized sum;
+- the LightSecAgg-style protocol masks field-embedded updates in
+  GF(2**61 - 1), because its mask segments must survive Lagrange
+  encoding/decoding, which only works over a field.
+
+Key agreement is a textbook Diffie–Hellman simulation over the same
+Mersenne prime (generator 7) — a stand-in for X25519 with the property
+that matters here: both endpoints of a pair derive the same seed without
+the server learning it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import derive_seed
+from .field import PRIME_INT, rand_field
+
+_GENERATOR = 7
+_RING_MAX = np.iinfo(np.uint64).max
+
+
+def expand_ring_mask(seed, dim: int) -> np.ndarray:
+    """PRG-expand a seed into a uniform ``uint64`` ring mask of length ``dim``."""
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.integers(_RING_MAX, size=dim, dtype=np.uint64, endpoint=True)
+
+
+def expand_field_mask(seed, dim: int) -> np.ndarray:
+    """PRG-expand a seed into uniform GF(2**61 - 1) elements of length ``dim``."""
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return rand_field(rng, dim)
+
+
+def dh_keypair(rng: np.random.Generator) -> tuple[int, int]:
+    """Draw a (secret, public) Diffie–Hellman pair mod the Mersenne prime.
+
+    Secrets are drawn in ``[1, p - 1)`` so the public key is never the
+    identity; arithmetic runs through Python's ``pow`` because the
+    exponent exceeds what uint64 modmul can express.
+    """
+    secret = int(rng.integers(1, PRIME_INT - 1, dtype=np.uint64))
+    return secret, pow(_GENERATOR, secret, PRIME_INT)
+
+
+def dh_shared_seed(secret_key: int, peer_public_key: int, round_index: int) -> tuple:
+    """The pairwise PRG seed both endpoints derive: ``g**(sk_i * sk_j)``.
+
+    Folding the round index in via :func:`~repro.utils.rng.derive_seed`
+    gives each round an independent mask stream from the same key pair.
+    """
+    shared = pow(peer_public_key, secret_key, PRIME_INT)
+    return (derive_seed(shared, "secagg-pairwise", str(round_index)),)

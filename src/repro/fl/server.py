@@ -25,6 +25,7 @@ from repro.attacks.base import ActiveReconstructionAttack, ReconstructionResult
 from repro.fl.aggregators import Aggregator, RoundBuffer, make_aggregator
 from repro.fl.client import Client
 from repro.fl.messages import GradientUpdate, ModelBroadcast, RoundRecord
+from repro.fl.secagg.base import BelowThresholdError
 from repro.nn.module import Module
 
 
@@ -42,7 +43,9 @@ class Server:
       *next* round's aggregate.
     - ``aggregator``: an :class:`~repro.fl.aggregators.Aggregator`
       instance, subclass, or registry name (``"fedavg"``, ``"median"``,
-      ``"trimmed_mean"``, ``"masked_sum"``).
+      ``"trimmed_mean"``, ``"masked_sum"``, and the secure-aggregation
+      protocol rules ``"secagg"`` / ``"secagg_oneshot"``, which run
+      commit-then-drop rounds — see :mod:`repro.fl.secagg`).
     - ``weight_by_examples``: weight the aggregate by each update's
       ``num_examples`` instead of uniformly (only meaningful for rules
       that honour weights, i.e. FedAvg).
@@ -156,12 +159,27 @@ class Server:
     def run_round(self) -> RoundRecord:
         """One full protocol round under the configured scenario.
 
-        A round always completes: if no update arrives at all, the model
-        is simply left unchanged and the record shows an empty
+        A round always completes: if no update arrives at all (or a
+        secure-aggregation round aborts below its recovery threshold),
+        the model is simply left unchanged and the record shows an empty
         participant list with ``mean_loss = nan``.  ``mean_loss``
         averages over every update that entered the aggregate, stale
         arrivals included.
+
+        Under a protocol aggregator (``requires_commitment``) the round
+        takes the commit-then-recover shape: every *selected* client
+        commits mask material before uploads exist, so clients lost to
+        dropout or straggling after that point are recovered through the
+        protocol's unmasking phase rather than resampled.  Late uploads
+        are discarded outright — a stale masked payload carries mask
+        material of a finished round and can never be unmasked later —
+        and :meth:`inspect_updates` is skipped entirely because the
+        server only ever sees masked payloads (aggregate-level hooks
+        still fire; whether aggregate-inversion attacks survive real
+        secure aggregation is exactly the question the secagg sweeps
+        ask).
         """
+        protocol_mode = getattr(self.aggregator, "requires_commitment", False)
         broadcast = self.prepare_broadcast()
         selected = self.select_clients()
         active, dropped, stragglers = self.simulate_participation(selected)
@@ -169,24 +187,57 @@ class Server:
             client.local_update(self.broadcast_to(client, broadcast))
             for client in active
         ]
-        late = [
-            client.local_update(self.broadcast_to(client, broadcast))
-            for client in stragglers
-        ]
-        attack_events = self.inspect_updates(updates + late)
+        late = (
+            []
+            if protocol_mode
+            else [
+                client.local_update(self.broadcast_to(client, broadcast))
+                for client in stragglers
+            ]
+        )
         stale = self._stale_updates if self.accept_stale else []
         self._stale_updates = late
+        # Inspect updates in the round they are *aggregated*: fresh ones
+        # now, late ones only if/when they re-enter as stale arrivals —
+        # inspecting `late` here would attribute next round's aggregate
+        # members to this round's record (and count discarded updates
+        # when accept_stale is off).
+        attack_events = [] if protocol_mode else self.inspect_updates(updates + stale)
         arrivals = updates + stale
+        secagg_meta: dict | None = None
+        weights = (
+            [u.num_examples for u in arrivals]
+            if (self.weight_by_examples and arrivals)
+            else None
+        )
+        aggregated = None
         if arrivals:
             # Each update is packed into the contiguous round buffer on
             # arrival, so the aggregation itself is a single reduction.
             buffer = RoundBuffer.for_updates([u.gradients for u in arrivals])
-            weights = (
-                [u.num_examples for u in arrivals]
-                if self.weight_by_examples
-                else None
-            )
-            aggregated = self.aggregator.aggregate_buffer(buffer, weights)
+            if protocol_mode:
+                try:
+                    aggregated = self.aggregator.aggregate_committed(
+                        buffer,
+                        survivor_ids=[u.client_id for u in arrivals],
+                        committed_ids=[c.client_id for c in selected],
+                        round_index=self.round_index,
+                        weights=weights,
+                    )
+                    secagg_meta = dict(self.aggregator.last_metadata)
+                except BelowThresholdError as error:
+                    secagg_meta = {
+                        "protocol": self.aggregator.name,
+                        "aborted": True,
+                        "survivors": error.survivors,
+                        "threshold": error.threshold,
+                    }
+                    arrivals = []
+            else:
+                aggregated = self.aggregator.aggregate_buffer(
+                    buffer, weights, round_index=self.round_index
+                )
+        if aggregated is not None:
             self.apply_aggregate(aggregated)
             self.last_aggregate = aggregated
             attack_events = attack_events + self.inspect_aggregate(aggregated)
@@ -206,6 +257,8 @@ class Server:
             straggler_ids=[c.client_id for c in stragglers],
             stale_ids=[u.client_id for u in stale],
             aggregator=self.aggregator.name,
+            weighting=self.aggregator.effective_weighting(weights),
+            secagg=secagg_meta,
         )
         self.history.append(record)
         self.round_index += 1

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.data.synthetic import SyntheticImageDataset
 from repro.defense.base import ClientDefense
-from repro.fl.aggregators import Aggregator
+from repro.fl.aggregators import Aggregator, make_aggregator
 from repro.fl.client import Client
 from repro.fl.server import DishonestServer, Server
 from repro.metrics.accuracy import accuracy
@@ -119,6 +119,13 @@ class FederationConfig:
     sampling, ``dropout_rate``, ``straggler_rate``, ``accept_stale``), and
     the server-side ``aggregator`` (registry name, class, or instance —
     see :func:`repro.fl.aggregators.make_aggregator`).
+
+    ``aggregator_options`` are constructor keywords forwarded when the
+    aggregator is given as a name or class — e.g.
+    ``aggregator="secagg", aggregator_options={"threshold": 8}`` pins a
+    SecAgg reconstruction threshold instead of the default strict
+    majority.  They are rejected for instances (the instance is already
+    configured).
     """
 
     num_clients: int = 10
@@ -132,7 +139,12 @@ class FederationConfig:
     straggler_rate: float = 0.0
     accept_stale: bool = False
     aggregator: "str | type[Aggregator] | Aggregator" = "fedavg"
+    aggregator_options: Optional[dict] = None
     weight_by_examples: bool = False
+
+    def make_aggregator(self) -> Aggregator:
+        """Resolve the configured aggregation rule to an instance."""
+        return make_aggregator(self.aggregator, **(self.aggregator_options or {}))
 
     def make_shards(
         self, dataset: SyntheticImageDataset
@@ -189,7 +201,7 @@ class FederatedSimulation:
         server_kwargs = dict(
             learning_rate=config.learning_rate,
             clients_per_round=config.clients_per_round,
-            aggregator=config.aggregator,
+            aggregator=config.make_aggregator(),
             dropout_rate=config.dropout_rate,
             straggler_rate=config.straggler_rate,
             accept_stale=config.accept_stale,

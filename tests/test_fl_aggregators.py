@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -9,7 +11,10 @@ from repro.fl import (
     Aggregator,
     CoordinateMedianAggregator,
     FedAvgAggregator,
+    FixedPointCodec,
     MaskedSumAggregator,
+    OneShotRecoveryAggregator,
+    SecAggAggregator,
     TrimmedMeanAggregator,
     average_gradients,
     flatten_updates,
@@ -17,7 +22,9 @@ from repro.fl import (
     unflatten_vector,
 )
 
-ALL_NAMES = ["fedavg", "median", "trimmed_mean", "masked_sum"]
+ALL_NAMES = [
+    "fedavg", "median", "trimmed_mean", "masked_sum", "secagg", "secagg_oneshot",
+]
 
 
 def hand_updates():
@@ -167,12 +174,26 @@ class TestMaskedSum:
         updates = self.grid_updates()
         agg = MaskedSumAggregator(seed=1)
         matrix, _ = flatten_updates(updates)
-        first = agg.mask_updates(matrix)
-        agg._round += 1
-        second = agg.mask_updates(matrix)
+        first = agg.mask_updates(matrix, round_index=0)
+        second = agg.mask_updates(matrix, round_index=1)
         assert not np.array_equal(first, second)
         # ... but both protocol executions recover the identical sum.
         np.testing.assert_array_equal(agg.unmask_sum(first), agg.unmask_sum(second))
+
+    def test_mask_stream_is_replay_safe(self):
+        # Masks are keyed by the explicit round index, not by how many
+        # rounds the instance already served: replaying round 3 on a fresh
+        # instance (a resumed run) draws the identical mask stream.
+        updates = self.grid_updates()
+        matrix, _ = flatten_updates(updates)
+        veteran = MaskedSumAggregator(seed=1)
+        for earlier_round in range(3):
+            veteran.mask_updates(matrix, round_index=earlier_round)
+        resumed = MaskedSumAggregator(seed=1)
+        np.testing.assert_array_equal(
+            veteran.mask_updates(matrix, round_index=3),
+            resumed.mask_updates(matrix, round_index=3),
+        )
 
     def test_survivor_subset_still_cancels(self):
         # Dropout: masks are generated among survivors only, so the sum over
@@ -245,3 +266,117 @@ class TestRegistry:
         assert out["w"].shape == (2, 3)
         assert out["b"].shape == (5,)
         assert all(np.isfinite(v).all() for v in out.values())
+
+
+class TestFixedPointCodec:
+    """Boundary behaviour of the shared quantization codec.
+
+    The masked-sum docstring promises exactness while the quantized sum
+    stays within int64 (``K * max|q| < 2**63``); the codec guard must
+    admit everything strictly inside that bound and reject anything at
+    or beyond it (where modular wraparound would silently corrupt the
+    recovered aggregate).
+    """
+
+    def test_admits_values_up_to_the_promised_bound(self):
+        # K * max|q| = 2 * 2**61 = 2**62 < 2**63: inside the promise.
+        # (The old 2**62 guard wrongly rejected this — regression.)
+        codec = FixedPointCodec(fractional_bits=0)
+        matrix = np.array([[2.0 ** 61], [-(2.0 ** 61)]])
+        total = codec.exact_sum(matrix)
+        np.testing.assert_array_equal(total, [0.0])
+
+    def test_rejects_sum_at_the_limit(self):
+        # K * max|q| = 2 * 2**62 = 2**63: wraparound possible, must raise.
+        codec = FixedPointCodec(fractional_bits=0)
+        matrix = np.array([[2.0 ** 62], [2.0 ** 62]])
+        with pytest.raises(ValueError, match="fixed-point range"):
+            codec.quantize(matrix)
+
+    def test_rejects_single_value_over_the_limit(self):
+        codec = FixedPointCodec(fractional_bits=0)
+        with pytest.raises(ValueError, match="fixed-point range"):
+            codec.quantize(np.array([[2.0 ** 63]]))
+
+    def test_guard_checks_rounded_magnitudes(self):
+        # The guard must bound what is actually summed: the *rounded*
+        # fixed-point values, not the raw floats.  2**46 - 0.25 rounds up
+        # to 2**46, so at count 2**17 the worst-case sum is exactly 2**63
+        # (reject) even though the raw magnitude sum is 2**15 short of it.
+        codec = FixedPointCodec(fractional_bits=0)
+        value = np.array([[2.0 ** 46 - 0.25]])
+        with pytest.raises(ValueError, match="fixed-point range"):
+            codec.quantize(value, count=2 ** 17)
+        # One fewer summand puts the worst case strictly inside int64.
+        codec.quantize(value, count=2 ** 17 - 1)
+
+    def test_wraparound_regression(self):
+        # Just inside the bound the ring sum must equal the true integer
+        # sum even though intermediate totals (3 * 2**61) far exceed what
+        # a narrower guard would allow; an unsigned-view bug would show
+        # up as a sign flip on the negative column.
+        codec = FixedPointCodec(fractional_bits=0)
+        big = 2.0 ** 61
+        matrix = np.array([[big, -big], [big, -big], [big, big]])
+        total = codec.exact_sum(matrix)
+        np.testing.assert_array_equal(total, [3 * big, -big])
+        # The guard is per-summand-count: the same values sum fine over 3
+        # rows but a 4th worst-case summand could reach 2**63.
+        with pytest.raises(ValueError, match="fixed-point range"):
+            codec.quantize(matrix, count=4)
+
+    def test_masked_sum_exposes_codec(self):
+        agg = MaskedSumAggregator(fractional_bits=8)
+        assert isinstance(agg.codec, FixedPointCodec)
+        assert agg.codec.scale == 2.0 ** 8
+        with pytest.raises(ValueError):
+            FixedPointCodec(fractional_bits=-1)
+
+
+class TestWeightHandling:
+    """Unweighted rules must announce, once, that weights are discarded."""
+
+    @pytest.mark.parametrize("name", ["masked_sum", "median", "trimmed_mean"])
+    def test_unweighted_rule_warns_once(self, name):
+        agg = make_aggregator(name)
+        updates = hand_updates()
+        with pytest.warns(RuntimeWarning, match="cannot honour"):
+            agg.aggregate(updates, weights=[1, 1, 2])
+        # Second call on the same instance stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            agg.aggregate(updates, weights=[1, 1, 2])
+
+    def test_fedavg_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            FedAvgAggregator().aggregate(hand_updates(), weights=[1, 1, 2])
+
+    def test_no_weights_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            CoordinateMedianAggregator().aggregate(hand_updates())
+
+    def test_effective_weighting_labels(self):
+        assert FedAvgAggregator().effective_weighting([1, 2]) == "weighted"
+        assert FedAvgAggregator().effective_weighting(None) == "uniform"
+        assert CoordinateMedianAggregator().effective_weighting([1, 2]) == "uniform"
+
+
+class TestProtocolRegistryEntries:
+    def test_lazy_names_resolve(self):
+        assert isinstance(make_aggregator("secagg"), SecAggAggregator)
+        assert isinstance(make_aggregator("secagg_bonawitz"), SecAggAggregator)
+        assert isinstance(make_aggregator("secagg_oneshot"), OneShotRecoveryAggregator)
+        assert isinstance(make_aggregator("lightsecagg"), OneShotRecoveryAggregator)
+
+    def test_lazy_names_accept_kwargs(self):
+        agg = make_aggregator("secagg", fractional_bits=8, threshold=3)
+        assert agg.fractional_bits == 8
+        assert agg.threshold_for(10) == 3
+        assert make_aggregator("secagg").threshold_for(10) == 6
+
+    def test_protocol_rules_require_commitment(self):
+        assert make_aggregator("secagg").requires_commitment
+        assert make_aggregator("secagg_oneshot").requires_commitment
+        assert not make_aggregator("masked_sum").requires_commitment

@@ -171,6 +171,72 @@ class TestSamplingAndStragglers:
         # mean_loss covers everything aggregated, stale arrivals included.
         assert second.mean_loss == pytest.approx(np.mean(second.participant_ids))
 
+    def test_straggler_inspection_deferred_to_aggregation_round(self):
+        # Regression: late updates used to be inspected in the round they
+        # *arrived*, attributing their attack events to a record whose
+        # aggregate (and participant_ids) they were not part of.  They
+        # must be inspected in the round they are aggregated as stale.
+        from repro.fl import DishonestServer
+
+        class RecordingAttack:
+            name = "recording"
+
+            def craft(self, model):
+                pass
+
+            def reconstruct(self, gradients):
+                return []
+
+        server = DishonestServer(
+            Module(),
+            [StubClient(i) for i in range(16)],
+            RecordingAttack(),
+            straggler_rate=0.5,
+            accept_stale=True,
+            seed=3,
+        )
+        first = server.run_round()
+        assert first.straggler_ids, "seeded scenario should produce stragglers"
+        first_event_ids = sorted(e["client_id"] for e in first.attack_events)
+        assert first_event_ids == sorted(first.participant_ids)
+        assert set(first_event_ids).isdisjoint(first.straggler_ids)
+        second = server.run_round()
+        # Round 1's stragglers fold in as stale now — and only now are
+        # their updates inspected, in the record they actually joined.
+        second_event_ids = sorted(e["client_id"] for e in second.attack_events)
+        assert second_event_ids == sorted(second.participant_ids)
+        assert set(first.straggler_ids) <= set(second_event_ids)
+
+    def test_discarded_stragglers_never_inspected(self):
+        from repro.fl import DishonestServer
+
+        class RecordingAttack:
+            name = "recording"
+
+            def craft(self, model):
+                pass
+
+            def reconstruct(self, gradients):
+                return []
+
+        server = DishonestServer(
+            Module(),
+            [StubClient(i) for i in range(16)],
+            RecordingAttack(),
+            straggler_rate=0.5,
+            accept_stale=False,
+            seed=3,
+        )
+        record = server.run_round()
+        assert record.straggler_ids
+        # Late updates never enter any aggregate, so the attack must not
+        # receive them in any round.
+        inspected = {e["client_id"] for e in record.attack_events}
+        assert inspected.isdisjoint(record.straggler_ids)
+        second = server.run_round()
+        inspected_second = {e["client_id"] for e in second.attack_events}
+        assert inspected_second == set(second.participant_ids)
+
     def test_weight_by_examples(self):
         class Weighted(StubClient):
             """Stub whose num_examples is 1 for even ids, 3 for odd ids."""
@@ -183,11 +249,23 @@ class TestSamplingAndStragglers:
         server = Server(
             Module(), [Weighted(i) for i in range(4)], weight_by_examples=True
         )
-        server.run_round()
+        record = server.run_round()
         # ids 0..3 with weights [1, 3, 1, 3] -> (0 + 3 + 2 + 9) / 8
         np.testing.assert_allclose(
             server.last_aggregate["w"], np.full(DIM, 14.0 / 8.0), atol=1e-12
         )
+        assert record.weighting == "weighted"
+
+    def test_unweighted_rule_records_uniform_weighting(self):
+        # weight_by_examples through a rule that cannot honour weights
+        # must warn and record what actually happened: uniform.
+        server = make_stub_server(
+            4, aggregator="median", weight_by_examples=True
+        )
+        with pytest.warns(RuntimeWarning, match="cannot honour"):
+            record = server.run_round()
+        assert record.weighting == "uniform"
+        assert record.aggregator == "median"
 
 
 class TestNonIIDFederation:

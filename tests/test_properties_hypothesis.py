@@ -239,3 +239,64 @@ class TestAggregatorOrderInvariance:
             [updates[i] for i in order]
         )["w"]
         np.testing.assert_allclose(shuffled, base, atol=1e-9)
+
+
+class TestSecAggRecoveryProperties:
+    """Protocol invariant: ANY survivor set of at least the threshold
+    recovers the survivors' exact quantized sum bit-for-bit, and any
+    smaller set must raise — for both protocol families."""
+
+    def _grid_matrix(self, data, n, dim=4):
+        cells = data.draw(
+            st.lists(
+                st.lists(st.integers(-4000, 4000), min_size=dim, max_size=dim),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return np.asarray(cells, dtype=np.float64) / 1024.0
+
+    @pytest.mark.parametrize("protocol_name", ["secagg", "secagg_oneshot"])
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_any_supra_threshold_survivor_set_recovers_exact_sum(
+        self, protocol_name, data
+    ):
+        n = data.draw(st.integers(min_value=3, max_value=8), label="n")
+        matrix = self._grid_matrix(data, n)
+        seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+        aggregator = make_aggregator(protocol_name, seed=seed)
+        threshold = aggregator.threshold_for(n)
+        k = data.draw(st.integers(min_value=threshold, max_value=n), label="k")
+        survivors = sorted(
+            data.draw(st.permutations(list(range(n))), label="order")[:k]
+        )
+        committed = list(range(n))
+        recovered = aggregator.protocol_round(
+            matrix[survivors], survivors, committed, round_index=2
+        )
+        exact = aggregator.codec.quantize(matrix[survivors], count=n).sum(
+            axis=0, dtype=np.uint64
+        )
+        expected = aggregator.codec.dequantize_sum(exact) / len(survivors)
+        np.testing.assert_array_equal(recovered, expected)
+
+    @pytest.mark.parametrize("protocol_name", ["secagg", "secagg_oneshot"])
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_any_sub_threshold_survivor_set_raises(self, protocol_name, data):
+        from repro.fl import BelowThresholdError
+
+        n = data.draw(st.integers(min_value=3, max_value=8), label="n")
+        matrix = self._grid_matrix(data, n)
+        seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+        aggregator = make_aggregator(protocol_name, seed=seed)
+        threshold = aggregator.threshold_for(n)
+        k = data.draw(st.integers(min_value=1, max_value=threshold - 1), label="k")
+        survivors = sorted(
+            data.draw(st.permutations(list(range(n))), label="order")[:k]
+        )
+        with pytest.raises(BelowThresholdError):
+            aggregator.protocol_round(
+                matrix[survivors], survivors, list(range(n)), round_index=2
+            )

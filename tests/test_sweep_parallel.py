@@ -79,6 +79,40 @@ class TestExecutorEquivalence:
         assert serial_path.read_bytes() == parallel_path.read_bytes()
         assert parallel.results == serial.results
 
+    def test_secagg_arm_byte_identical_to_serial(self, sweep_dataset, tmp_path):
+        # The protocol aggregators run full SecAgg rounds inside each
+        # cell (key advertisement, Shamir shares, unmasking) — all of it
+        # keyed by the cell fingerprint, so the byte-identity contract
+        # must hold for secagg arms exactly as for plain ones.
+        scenarios = (
+            ParticipationScenario(
+                "plain", num_clients=2, aggregator="masked_sum"
+            ),
+            ParticipationScenario(
+                "secagg-drop",
+                num_clients=6,
+                dropout_rate=0.25,
+                aggregator="secagg",
+            ),
+            ParticipationScenario(
+                "oneshot-drop",
+                num_clients=6,
+                dropout_rate=0.25,
+                aggregator="secagg_oneshot",
+            ),
+        )
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        serial = make_runner(
+            sweep_dataset, store=serial_path, scenarios=scenarios
+        ).run()
+        parallel = make_runner(
+            sweep_dataset, store=parallel_path, scenarios=scenarios
+        ).run(WorkStealingSweepExecutor(2))
+        assert len(serial.computed) == len(parallel.computed) == 6
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        assert parallel.results == serial.results
+
     def test_worker_count_invariance(self, sweep_dataset, tmp_path):
         references = None
         for workers in (1, 2, 3):
