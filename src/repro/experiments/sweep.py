@@ -95,7 +95,7 @@ import time
 import traceback
 import warnings
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Callable, NamedTuple, Optional, Sequence
 
@@ -142,7 +142,18 @@ def dataset_fingerprint(dataset: SyntheticImageDataset) -> str:
 
 @dataclass(frozen=True)
 class ParticipationScenario:
-    """One federation shape a sweep cell runs under (PR-1 scenario knobs)."""
+    """One federation shape a sweep cell runs under.
+
+    The PR-1 rate-based knobs are joined by the event-engine axis:
+    ``arrivals`` names an arrival process (``""`` keeps the legacy
+    rate-driven compat process), ``round_duration_s`` switches the round
+    to a time cutoff (with ``min_arrivals`` as the grace floor), and
+    ``fleet_size`` registers the federation as a lazy fleet instead of
+    eagerly partitioning ``num_clients`` shards.  All four default to the
+    values :func:`scenario_to_dict` elides, so legacy scenarios keep
+    their exact store fingerprints (and therefore their cell seeds and
+    golden values).
+    """
 
     name: str
     num_clients: int = 2
@@ -154,6 +165,10 @@ class ParticipationScenario:
     dirichlet_alpha: float = 0.5
     aggregator: str = "fedavg"
     weight_by_examples: bool = False
+    arrivals: str = ""
+    round_duration_s: float = 0.0
+    min_arrivals: int = 0
+    fleet_size: int = 0
 
     def to_config(self, batch_size: int, seed: int) -> FederationConfig:
         """Lower this scenario to a :class:`~repro.fl.FederationConfig`."""
@@ -169,6 +184,10 @@ class ParticipationScenario:
             accept_stale=self.accept_stale,
             aggregator=self.aggregator,
             weight_by_examples=self.weight_by_examples,
+            arrivals=self.arrivals or None,
+            round_duration_s=self.round_duration_s,
+            min_arrivals=self.min_arrivals,
+            fleet_size=self.fleet_size,
         )
 
 
@@ -213,10 +232,55 @@ SECAGG_SCENARIOS: tuple[ParticipationScenario, ...] = (
     ),
 )
 
+# The event-engine scenario axis: rounds close on the virtual clock, so
+# stragglers are whoever's completion tick lands past the deadline — no
+# rate knobs anywhere.  ``uniform-time`` is the minimal timed federation;
+# the tiered arms run heterogeneous hardware traces (budget/IoT devices
+# straggle structurally), with ``tiered-stale`` additionally folding late
+# arrivals into the next round and ``fleet-lazy`` sampling its cohort
+# from a lazily-materialized registry several times larger than any
+# round's cohort.
+FLEET_SCENARIOS: tuple[ParticipationScenario, ...] = (
+    ParticipationScenario(
+        "uniform-time",
+        num_clients=8,
+        clients_per_round=4,
+        arrivals="uniform",
+        round_duration_s=0.6,
+        min_arrivals=1,
+    ),
+    ParticipationScenario(
+        "tiered-time",
+        num_clients=8,
+        clients_per_round=4,
+        arrivals="tiered",
+        round_duration_s=0.5,
+        min_arrivals=1,
+    ),
+    ParticipationScenario(
+        "tiered-stale",
+        num_clients=8,
+        clients_per_round=4,
+        accept_stale=True,
+        arrivals="tiered",
+        round_duration_s=0.5,
+        min_arrivals=1,
+    ),
+    ParticipationScenario(
+        "fleet-lazy",
+        clients_per_round=6,
+        arrivals="tiered",
+        round_duration_s=1.0,
+        min_arrivals=1,
+        fleet_size=64,
+    ),
+)
+
 # Named scenario axes the CLI can swap in wholesale (--scenario-axis).
 SCENARIO_AXES: dict[str, tuple[ParticipationScenario, ...]] = {
     "default": DEFAULT_SCENARIOS,
     "secagg": SECAGG_SCENARIOS,
+    "fleet": FLEET_SCENARIOS,
 }
 
 # The defense arms of the paper's figures: no defense plus every named
@@ -1297,7 +1361,10 @@ class SweepRunner:
             target_client_id=None,
         )
         server = simulation.server
-        clients_by_id = {client.client_id: client for client in server.clients}
+        # Reconstruction scoring needs the victim's actual batch; fetch
+        # through the fleet so only dispatched clients ever materialize
+        # (the fleet contract pins client_id == registry id).
+        fleet = server.fleet
         psnrs: list[float] = []
         num_reconstructions = 0
         for _ in range(self.rounds):
@@ -1308,7 +1375,7 @@ class SweepRunner:
                 num_reconstructions += len(result)
                 if len(result) == 0:
                     continue
-                originals = clients_by_id[client_id].last_batch[0]
+                originals = fleet.get(client_id).last_batch[0]
                 psnrs.extend(
                     score
                     for _, score in match_reconstructions(
@@ -1445,15 +1512,44 @@ def headline_ordering_holds(
     return checked
 
 
+# The scenario fields that existed before the event engine.  These are
+# always serialized; every later field is elided while it holds its
+# default.  The cell seed derives from the store-key fingerprint, which
+# hashes this payload — emitting a new field's default for an old
+# scenario would silently re-seed (and thus invalidate) every golden
+# value in every existing store.
+_LEGACY_SCENARIO_FIELDS = frozenset({
+    "name", "num_clients", "clients_per_round", "dropout_rate",
+    "straggler_rate", "accept_stale", "partition", "dirichlet_alpha",
+    "aggregator", "weight_by_examples",
+})
+_SCENARIO_DEFAULTS = {
+    field.name: field.default for field in fields(ParticipationScenario)
+}
+
+
 def scenario_from_dict(payload: dict) -> ParticipationScenario:
-    """Rebuild a :class:`ParticipationScenario` from its ``asdict`` payload."""
+    """Rebuild a :class:`ParticipationScenario` from its serialized payload.
+
+    Fields absent from ``payload`` (elided defaults, or payloads written
+    before the field existed) take their dataclass defaults.
+    """
     return ParticipationScenario(**payload)
 
 
 def scenario_to_dict(scenario: ParticipationScenario) -> dict:
     """JSON-serializable form of a scenario (inverse of
-    :func:`scenario_from_dict`)."""
-    return asdict(scenario)
+    :func:`scenario_from_dict`).
+
+    Pre-engine fields are always present; event-engine fields appear only
+    when they differ from their defaults, so legacy scenarios fingerprint
+    (and therefore seed) exactly as they did before the engine existed.
+    """
+    return {
+        key: value
+        for key, value in asdict(scenario).items()
+        if key in _LEGACY_SCENARIO_FIELDS or value != _SCENARIO_DEFAULTS[key]
+    }
 
 
 # --------------------------------------------------------------------------

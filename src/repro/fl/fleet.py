@@ -1,0 +1,99 @@
+"""Lazy client registries: million-user fleets without million-object cost.
+
+A :class:`Fleet` maps client ids to :class:`~repro.fl.client.Client`
+objects, but only builds the objects that are actually sampled into a
+round.  Registration is O(1) in fleet size — the registry holds a factory
+and a count, not a list — so a 1M-user federation costs nothing until the
+server samples its first cohort, and then costs exactly the cohort.
+
+The factory contract is ``factory(i).client_id == i`` for every ``i`` in
+``range(size)``: a client's shard, loss, and RNG stream must be pure
+functions of its id so that materialization order (which depends on
+sampling, not registration) can never change behaviour.  Materialized
+clients are cached — a client sampled in rounds 3 and 7 is the same
+object, preserving its local RNG stream continuity across rounds exactly
+as the eager list did.
+
+``Fleet.from_clients`` wraps an existing eagerly-built list so every
+legacy call site (tests, examples, the simulator) keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.fl.client import Client
+
+
+class Fleet:
+    """A lazily-materializing registry of ``size`` federated clients."""
+
+    def __init__(self, size: int, factory: Callable[[int], Client]) -> None:
+        if size <= 0:
+            raise ValueError("fleet size must be positive")
+        self.size = int(size)
+        self._factory = factory
+        self._cache: dict[int, Client] = {}
+
+    @classmethod
+    def from_clients(cls, clients: Sequence[Client]) -> "Fleet":
+        """Wrap an eagerly-built client list (legacy construction path)."""
+        if not clients:
+            raise ValueError("fleet needs at least one client")
+        by_id = {client.client_id: client for client in clients}
+        if sorted(by_id) != list(range(len(clients))):
+            raise ValueError(
+                "client ids must be exactly 0..n-1 with no duplicates"
+            )
+        fleet = cls(len(clients), by_id.__getitem__)
+        fleet._cache = by_id
+        return fleet
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, client_id: int) -> bool:
+        return 0 <= int(client_id) < self.size
+
+    @property
+    def client_ids(self) -> range:
+        """Every registered id — no materialization."""
+        return range(self.size)
+
+    @property
+    def materialized_count(self) -> int:
+        """How many Client objects actually exist right now."""
+        return len(self._cache)
+
+    def get(self, client_id: int) -> Client:
+        """Materialize (or fetch the cached) client for ``client_id``."""
+        client_id = int(client_id)
+        if client_id not in self:
+            raise KeyError(f"client_id {client_id} outside fleet of {self.size}")
+        client = self._cache.get(client_id)
+        if client is None:
+            client = self._factory(client_id)
+            if client.client_id != client_id:
+                raise ValueError(
+                    f"fleet factory returned client_id {client.client_id} "
+                    f"for requested id {client_id}"
+                )
+            self._cache[client_id] = client
+        return client
+
+    def get_many(self, client_ids: Sequence[int]) -> list[Client]:
+        """Materialize a cohort in the given order."""
+        return [self.get(client_id) for client_id in client_ids]
+
+    def materialize_all(self) -> list[Client]:
+        """Force every client into existence (legacy ``server.clients``)."""
+        return [self.get(client_id) for client_id in self.client_ids]
+
+    def __iter__(self) -> Iterator[Client]:
+        return iter(self.materialize_all())
+
+    def __repr__(self) -> str:
+        return (
+            f"Fleet(size={self.size}, "
+            f"materialized={self.materialized_count})"
+        )

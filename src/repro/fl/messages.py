@@ -160,6 +160,13 @@ class RoundRecord:
     aggregation protocol it carries the round's protocol metadata
     (committed/survivor counts, threshold, recovered dropouts, or the
     abort reason when survivors fell below threshold).
+
+    ``timing`` is the event engine's virtual-clock annotation (open/close
+    ticks, per-client arrival ticks, cutoff policy) when the federation
+    runs a real arrival process or a non-default cutoff.  It stays
+    ``None`` in the legacy-compatible configuration, so records produced
+    by the event engine's degenerate count cutoff compare equal to
+    pre-engine records field-for-field.
     """
 
     round_index: int
@@ -173,6 +180,7 @@ class RoundRecord:
     aggregator: str = "fedavg"
     weighting: str = "uniform"
     secagg: dict | None = None
+    timing: dict | None = None
 
     @property
     def num_selected(self) -> int:

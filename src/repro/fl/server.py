@@ -2,12 +2,24 @@
 
 :class:`Server` implements the paper's Sec. II-A protocol: per round,
 sample ``M`` of ``N`` clients, broadcast the global parameters, aggregate
-the returned gradients, and take a gradient step (Eq. 1).  On top of the
-seed's fixed-participation FedAvg it now simulates the participation
-scenarios large-scale attacks assume (per-round sampling, client dropout,
-stragglers with optional stale inclusion) and delegates the reduction to a
-pluggable :class:`~repro.fl.aggregators.Aggregator` (FedAvg, coordinate
-median, trimmed mean, or a secure-aggregation-style masked sum).
+the returned gradients, and take a gradient step (Eq. 1).  The server
+owns the *protocol* — selection, aggregation, secure-aggregation
+commitment windows, dishonest hooks — and delegates *time* to the
+event-driven :class:`~repro.fl.engine.RoundEngine`: clients are
+dispatched through a pluggable :class:`~repro.fl.arrivals.ArrivalProcess`,
+updates ingest into the round buffer as their completion events pop on
+the virtual clock, and the configured cutoff decides when the round
+closes.  Under the default configuration (rate-based
+:class:`~repro.fl.arrivals.InstantArrivals` + degenerate count cutoff)
+the engine reproduces the legacy synchronous loop's round records
+byte-for-byte; a :class:`~repro.fl.engine.TimeCutoff` or a trace-driven
+arrival process makes dropout and straggling emergent timing outcomes
+instead of coin flips.
+
+Clients live in a :class:`~repro.fl.fleet.Fleet`: registering 10k–1M
+users costs a factory and a count, and a ``Client`` object (with its
+shard and model) only materializes when the engine actually dispatches
+that id.
 
 :class:`DishonestServer` additionally manipulates the global model before
 broadcasting (the paper's threat model) and runs gradient inversion on a
@@ -23,7 +35,10 @@ import numpy as np
 
 from repro.attacks.base import ActiveReconstructionAttack, ReconstructionResult
 from repro.fl.aggregators import Aggregator, RoundBuffer, make_aggregator
+from repro.fl.arrivals import ArrivalProcess, make_arrivals
 from repro.fl.client import Client
+from repro.fl.engine import CountCutoff, RoundEngine, TimeCutoff, VirtualClock
+from repro.fl.fleet import Fleet
 from repro.fl.messages import GradientUpdate, ModelBroadcast, RoundRecord
 from repro.fl.secagg.base import BelowThresholdError
 from repro.nn.module import Module
@@ -35,12 +50,20 @@ class Server:
     Scenario knobs:
 
     - ``clients_per_round``: per-round uniform sampling of the fleet.
-    - ``dropout_rate``: probability a selected client fails before its
-      update arrives (it never computes one).
-    - ``straggler_rate``: probability a surviving client computes its
-      update but misses the round deadline.  Late updates are dropped
-      unless ``accept_stale=True``, in which case they are folded into the
-      *next* round's aggregate.
+    - ``dropout_rate`` / ``straggler_rate``: the legacy rate-based
+      participation model, implemented by the compat arrival process —
+      a selected client fails before uploading with ``dropout_rate``; a
+      survivor misses the deadline with ``straggler_rate``.  Late updates
+      are dropped unless ``accept_stale=True``, in which case they fold
+      into the *next* round's aggregate.
+    - ``arrivals`` / ``arrival_options``: a named arrival process
+      (``"instant"``, ``"uniform"``, ``"tiered"``, ``"tiered-diurnal"``)
+      or an :class:`~repro.fl.arrivals.ArrivalProcess` instance.  Under
+      trace-driven processes the rate knobs must stay zero — lateness
+      and failure come from the timing traces.
+    - ``cutoff``: a :class:`~repro.fl.engine.CountCutoff` or
+      :class:`~repro.fl.engine.TimeCutoff`; ``None`` is the legacy
+      wait-for-everyone count cutoff.
     - ``aggregator``: an :class:`~repro.fl.aggregators.Aggregator`
       instance, subclass, or registry name (``"fedavg"``, ``"median"``,
       ``"trimmed_mean"``, ``"masked_sum"``, and the secure-aggregation
@@ -49,12 +72,16 @@ class Server:
     - ``weight_by_examples``: weight the aggregate by each update's
       ``num_examples`` instead of uniformly (only meaningful for rules
       that honour weights, i.e. FedAvg).
+
+    ``clients`` may be a concrete client sequence (ids must be
+    ``0..n-1``) or a lazy :class:`~repro.fl.fleet.Fleet`; either way the
+    server only materializes the clients it actually dispatches.
     """
 
     def __init__(
         self,
         model: Module,
-        clients: Sequence[Client],
+        clients: "Sequence[Client] | Fleet",
         learning_rate: float = 0.1,
         clients_per_round: Optional[int] = None,
         aggregator: "str | type[Aggregator] | Aggregator" = "fedavg",
@@ -63,9 +90,17 @@ class Server:
         accept_stale: bool = False,
         weight_by_examples: bool = False,
         seed: int = 0,
+        arrivals: "str | ArrivalProcess | None" = None,
+        arrival_options: Optional[dict] = None,
+        cutoff: "CountCutoff | TimeCutoff | None" = None,
+        clock: Optional[VirtualClock] = None,
     ) -> None:
-        if not clients:
-            raise ValueError("server needs at least one client")
+        if isinstance(clients, Fleet):
+            self.fleet = clients
+        else:
+            if not clients:
+                raise ValueError("server needs at least one client")
+            self.fleet = Fleet.from_clients(list(clients))
         for rate, label in (
             (dropout_rate, "dropout_rate"),
             (straggler_rate, "straggler_rate"),
@@ -73,20 +108,38 @@ class Server:
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{label} must be in [0, 1]")
         self.model = model
-        self.clients = list(clients)
         self.learning_rate = learning_rate
-        self.clients_per_round = clients_per_round or len(self.clients)
-        self.clients_per_round = min(self.clients_per_round, len(self.clients))
+        self.clients_per_round = clients_per_round or len(self.fleet)
+        self.clients_per_round = min(self.clients_per_round, len(self.fleet))
         self.aggregator = make_aggregator(aggregator)
         self.dropout_rate = dropout_rate
         self.straggler_rate = straggler_rate
         self.accept_stale = accept_stale
         self.weight_by_examples = weight_by_examples
         self._rng = np.random.default_rng(seed)
+        self.clock = clock if clock is not None else VirtualClock()
+        self.arrivals = make_arrivals(
+            arrivals,
+            dropout_rate=dropout_rate,
+            straggler_rate=straggler_rate,
+            seed=seed,
+            **(arrival_options or {}),
+        )
+        self.cutoff = cutoff if cutoff is not None else CountCutoff()
+        self.engine = RoundEngine(self.clock, self.arrivals, self.cutoff)
         self.round_index = 0
         self.history: list[RoundRecord] = []
         self.last_aggregate: Optional[dict[str, np.ndarray]] = None
         self._stale_updates: list[GradientUpdate] = []
+
+    @property
+    def clients(self) -> list[Client]:
+        """Every client, materialized — the legacy eager view.
+
+        Kept for call sites that index or iterate the full roster; fleet-
+        scale code should use :attr:`fleet` (ids without materialization).
+        """
+        return self.fleet.materialize_all()
 
     # ------------------------------------------------------------------
     # Hooks a dishonest subclass overrides
@@ -118,36 +171,20 @@ class Server:
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
-    def select_clients(self) -> list[Client]:
-        """Uniformly sample this round's ``clients_per_round`` participants."""
-        indices = self._rng.choice(
-            len(self.clients), size=self.clients_per_round, replace=False
-        )
-        return [self.clients[i] for i in indices]
+    def select_client_ids(self) -> list[int]:
+        """Uniformly sample this round's ``clients_per_round`` participant ids.
 
-    def simulate_participation(
-        self, participants: Sequence[Client]
-    ) -> tuple[list[Client], list[Client], list[Client]]:
-        """Split the selected clients into (active, dropped, stragglers).
-
-        Each selected client independently drops with ``dropout_rate``;
-        a survivor then straggles with ``straggler_rate``.  When both
-        rates are zero no randomness is consumed, so fixed-participation
-        federations reproduce the seed's RNG stream exactly.
+        Selection is by id, so sampling a cohort from a million-user
+        fleet materializes nothing.
         """
-        if self.dropout_rate == 0.0 and self.straggler_rate == 0.0:
-            return list(participants), [], []
-        active: list[Client] = []
-        dropped: list[Client] = []
-        stragglers: list[Client] = []
-        for client in participants:
-            if self._rng.random() < self.dropout_rate:
-                dropped.append(client)
-            elif self._rng.random() < self.straggler_rate:
-                stragglers.append(client)
-            else:
-                active.append(client)
-        return active, dropped, stragglers
+        indices = self._rng.choice(
+            len(self.fleet), size=self.clients_per_round, replace=False
+        )
+        return [int(index) for index in indices]
+
+    def select_clients(self) -> list[Client]:
+        """Sample and materialize this round's participants (legacy view)."""
+        return self.fleet.get_many(self.select_client_ids())
 
     def apply_aggregate(self, aggregated: dict[str, np.ndarray]) -> None:
         """w_{t+1} = w_t - eta * aggregated gradient (Eq. 1)."""
@@ -156,8 +193,26 @@ class Server:
             if name in params:
                 params[name].data -= self.learning_rate * gradient
 
+    @property
+    def _retains_update_objects(self) -> bool:
+        """Whether per-update gradient dicts must outlive buffer ingest.
+
+        Only an overridden :meth:`inspect_updates` ever reads a fresh
+        update's gradients after they are packed into the round buffer;
+        the honest no-op lets the engine release them at ingest so large
+        rounds hold one matrix, not thousands of dicts.
+        """
+        return type(self).inspect_updates is not Server.inspect_updates
+
     def run_round(self) -> RoundRecord:
         """One full protocol round under the configured scenario.
+
+        The engine owns the round's timeline: it schedules the selected
+        cohort through the arrival process, pops completion events in
+        virtual-time order, packs each on-time update into the round
+        buffer as it lands, and closes the round at the configured
+        cutoff.  Everything after the ledger — stale folding, hooks,
+        aggregation, the model step — is protocol and stays here.
 
         A round always completes: if no update arrives at all (or a
         secure-aggregation round aborts below its recovery threshold),
@@ -181,28 +236,32 @@ class Server:
         """
         protocol_mode = getattr(self.aggregator, "requires_commitment", False)
         broadcast = self.prepare_broadcast()
-        selected = self.select_clients()
-        active, dropped, stragglers = self.simulate_participation(selected)
-        updates = [
-            client.local_update(self.broadcast_to(client, broadcast))
-            for client in active
-        ]
-        late = (
-            []
-            if protocol_mode
-            else [
-                client.local_update(self.broadcast_to(client, broadcast))
-                for client in stragglers
-            ]
-        )
+        selected_ids = self.select_client_ids()
         stale = self._stale_updates if self.accept_stale else []
-        self._stale_updates = late
+
+        def compute(client_id: int) -> GradientUpdate:
+            client = self.fleet.get(client_id)
+            return client.local_update(self.broadcast_to(client, broadcast))
+
+        ledger = self.engine.run_round(
+            selected_ids,
+            self.round_index,
+            self._rng,
+            compute,
+            compute_late=not protocol_mode,
+            extra_capacity=len(stale),
+            release_gradients=not self._retains_update_objects,
+        )
+        updates = ledger.fresh
+        self._stale_updates = ledger.late
         # Inspect updates in the round they are *aggregated*: fresh ones
         # now, late ones only if/when they re-enter as stale arrivals —
-        # inspecting `late` here would attribute next round's aggregate
-        # members to this round's record (and count discarded updates
-        # when accept_stale is off).
-        attack_events = [] if protocol_mode else self.inspect_updates(updates + stale)
+        # inspecting the late list here would attribute next round's
+        # aggregate members to this round's record (and count discarded
+        # updates when accept_stale is off).
+        attack_events = (
+            [] if protocol_mode else self.inspect_updates(updates + stale)
+        )
         arrivals = updates + stale
         secagg_meta: dict | None = None
         weights = (
@@ -212,15 +271,21 @@ class Server:
         )
         aggregated = None
         if arrivals:
-            # Each update is packed into the contiguous round buffer on
-            # arrival, so the aggregation itself is a single reduction.
-            buffer = RoundBuffer.for_updates([u.gradients for u in arrivals])
+            # Fresh rows were packed at ingest time by the engine; stale
+            # arrivals append after them, reproducing the legacy
+            # fresh-then-stale row order exactly.
+            buffer = ledger.buffer
+            if buffer is None:
+                buffer = RoundBuffer.for_updates([u.gradients for u in stale])
+            else:
+                for update in stale:
+                    buffer.add(update.gradients)
             if protocol_mode:
                 try:
                     aggregated = self.aggregator.aggregate_committed(
                         buffer,
                         survivor_ids=[u.client_id for u in arrivals],
-                        committed_ids=[c.client_id for c in selected],
+                        committed_ids=list(selected_ids),
                         round_index=self.round_index,
                         weights=weights,
                     )
@@ -252,13 +317,14 @@ class Server:
                 else float("nan")
             ),
             attack_events=attack_events,
-            selected_ids=[c.client_id for c in selected],
-            dropped_ids=[c.client_id for c in dropped],
-            straggler_ids=[c.client_id for c in stragglers],
+            selected_ids=list(selected_ids),
+            dropped_ids=list(ledger.dropped_ids),
+            straggler_ids=list(ledger.straggler_ids),
             stale_ids=[u.client_id for u in stale],
             aggregator=self.aggregator.name,
             weighting=self.aggregator.effective_weighting(weights),
             secagg=secagg_meta,
+            timing=ledger.timing,
         )
         self.history.append(record)
         self.round_index += 1
@@ -281,7 +347,8 @@ class DishonestServer(Server):
     exactly the multi-victim regime large-scale attacks operate in.  Use
     :meth:`round_reconstructions` for everything captured in one round.
     All honest-server scenario knobs (sampling, dropout, stragglers,
-    aggregator) pass through ``**server_kwargs``.
+    aggregator, arrival processes, cutoffs) pass through
+    ``**server_kwargs``.
 
     Large-scale attacks opt into two further hooks through class
     attributes on the attack object:
@@ -289,7 +356,8 @@ class DishonestServer(Server):
     - ``per_client_crafting`` — the attack's :meth:`craft_for_client` is
       called per participant, so each client receives its own manipulated
       parameters (LOKI's per-client-disjoint neuron blocks).  The fleet's
-      ids are handed to ``attack.assign_clients`` once, at construction.
+      ids are handed to ``attack.assign_clients`` once, at construction —
+      ids only, so even a million-user fleet materializes nothing here.
     - ``reconstructs_from_aggregate`` — per-update inversion is skipped
       and the attack inverts the round's FedAvg *aggregate* instead
       (``reconstruct_per_client``), the regime where secure aggregation
@@ -299,7 +367,7 @@ class DishonestServer(Server):
     def __init__(
         self,
         model: Module,
-        clients: Sequence[Client],
+        clients: "Sequence[Client] | Fleet",
         attack: ActiveReconstructionAttack,
         target_client_id: Optional[int] = None,
         **server_kwargs,
@@ -309,7 +377,7 @@ class DishonestServer(Server):
         self.target_client_id = target_client_id
         self.reconstructions: dict[tuple[int, int], ReconstructionResult] = {}
         if hasattr(attack, "assign_clients"):
-            attack.assign_clients([client.client_id for client in self.clients])
+            attack.assign_clients(list(self.fleet.client_ids))
 
     def prepare_broadcast(self) -> ModelBroadcast:
         """Craft the malicious model, then broadcast it as if honest.
@@ -331,6 +399,9 @@ class DishonestServer(Server):
 
         ``state_dict`` snapshots copies, so re-crafting the server model
         for the next client never mutates an already-dispatched broadcast.
+        The engine pops completions in deterministic virtual-time order,
+        so the per-client craft sequence is as reproducible as the legacy
+        selection-order loop.
         """
         if not getattr(self.attack, "per_client_crafting", False):
             return broadcast

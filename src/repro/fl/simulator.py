@@ -4,7 +4,11 @@ Convenience layer that turns a dataset + model factory + defense into a
 running federation, so examples and experiments stay short.  Scenarios are
 described declaratively through :class:`FederationConfig`: IID or Dirichlet
 label-skewed partitioning, per-round client sampling, dropout/straggler
-rates, and the server-side aggregation rule.
+rates, arrival processes and round cutoffs for the event engine, and the
+server-side aggregation rule.  Setting ``fleet_size`` switches the
+federation onto a lazy :class:`~repro.fl.fleet.Fleet`: clients (shard,
+model, RNG stream) materialize only when sampled, so a 100k-user
+registration costs a closure, not 100k objects.
 """
 
 from __future__ import annotations
@@ -18,11 +22,14 @@ from repro.data.synthetic import SyntheticImageDataset
 from repro.defense.base import ClientDefense
 from repro.fl.aggregators import Aggregator, make_aggregator
 from repro.fl.client import Client
+from repro.fl.engine import CountCutoff, TimeCutoff, make_cutoff
+from repro.fl.fleet import Fleet
 from repro.fl.server import DishonestServer, Server
 from repro.metrics.accuracy import accuracy
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.tensor import Tensor, no_grad
+from repro.utils.rng import seed_sequence_for
 
 
 def partition_dataset(
@@ -73,6 +80,76 @@ def dirichlet_partition_indices(
     return [np.asarray(sorted(a), dtype=np.int64) for a in assignments]
 
 
+def rebalance_min_per_client(
+    assignments: list[np.ndarray],
+    labels: np.ndarray,
+    min_per_client: int,
+) -> list[np.ndarray]:
+    """Move samples from surplus shards until every shard has the minimum.
+
+    One vectorized deterministic pass.  Donors are the shards holding
+    more than ``min_per_client``, drained richest-first; each donor gives
+    away its most-abundant labels first, so topping up a starved client
+    flattens the donor's label skew as little as possible — unlike the
+    old pop-from-largest loop, which moved whatever sample happened to
+    sit at the end of the donor's list, one sample per O(num_clients)
+    scan.
+
+    Deterministic by construction: donees are visited in index order
+    (most-starved first), donations are ordered by ``np.lexsort`` over
+    (donor label count descending, index), and no RNG is consumed —
+    callers' random streams are untouched by rebalancing.
+    """
+    if min_per_client <= 0:
+        return assignments
+    labels = np.asarray(labels)
+    sizes = np.asarray([len(a) for a in assignments], dtype=np.int64)
+    deficits = np.maximum(min_per_client - sizes, 0)
+    if not deficits.any():
+        return assignments
+    surpluses = np.maximum(sizes - min_per_client, 0)
+    if deficits.sum() > surpluses.sum():
+        raise ValueError("not enough samples to satisfy min_per_client")
+
+    # Each donor's give-away queue: its own samples ordered so that the
+    # most-abundant label's samples leave first (ties broken by index for
+    # determinism).  Built once, consumed by slicing.
+    donations: dict[int, list[int]] = {}
+    for donor in np.flatnonzero(surpluses):
+        shard = np.asarray(assignments[donor], dtype=np.int64)
+        shard_labels = labels[shard]
+        _, inverse, counts = np.unique(
+            shard_labels, return_inverse=True, return_counts=True
+        )
+        order = np.lexsort((shard, -counts[inverse]))
+        donations[donor] = shard[order][: surpluses[donor]].tolist()
+
+    # Richest donors drain first; donees fill in index order.  Both
+    # orders are pure functions of the shard sizes, never of dict or
+    # insertion order.
+    donor_order = sorted(donations, key=lambda i: (-surpluses[i], i))
+    rebalanced = [list(a) for a in assignments]
+    taken: dict[int, int] = {donor: 0 for donor in donor_order}
+    cursor = 0
+    for donee in np.flatnonzero(deficits):
+        need = int(deficits[donee])
+        while need > 0:
+            donor = donor_order[cursor]
+            available = donations[donor][taken[donor] :]
+            if not available:
+                cursor += 1
+                continue
+            grabbed = available[:need]
+            taken[donor] += len(grabbed)
+            need -= len(grabbed)
+            moved = set(grabbed)
+            rebalanced[donor] = [
+                index for index in rebalanced[donor] if index not in moved
+            ]
+            rebalanced[donee].extend(grabbed)
+    return [np.asarray(sorted(a), dtype=np.int64) for a in rebalanced]
+
+
 def partition_dataset_dirichlet(
     dataset: SyntheticImageDataset,
     num_clients: int,
@@ -82,31 +159,23 @@ def partition_dataset_dirichlet(
 ) -> list[SyntheticImageDataset]:
     """Non-IID partition with Dirichlet(alpha) label skew per class.
 
-    When ``min_per_client`` is positive, samples are reassigned from the
-    largest shard until every client owns at least that many (Dirichlet
+    When ``min_per_client`` is positive, samples are reassigned from
+    surplus shards until every client owns at least that many (Dirichlet
     draws with small ``alpha`` routinely starve some clients entirely,
-    which a federation cannot train with).  The result always covers the
-    dataset exactly once.
+    which a federation cannot train with) — see
+    :func:`rebalance_min_per_client` for the deterministic donor policy.
+    The result always covers the dataset exactly once.
     """
     if min_per_client * num_clients > len(dataset):
         raise ValueError("fewer samples than clients require")
     rng = np.random.default_rng(seed)
-    assignments = [
-        list(a)
-        for a in dirichlet_partition_indices(
-            dataset.labels, num_clients, alpha, rng
-        )
-    ]
-    while True:
-        smallest = min(range(num_clients), key=lambda i: len(assignments[i]))
-        if len(assignments[smallest]) >= min_per_client:
-            break
-        largest = max(range(num_clients), key=lambda i: len(assignments[i]))
-        assignments[smallest].append(assignments[largest].pop())
-    return [
-        dataset.subset(np.asarray(sorted(a), dtype=np.int64))
-        for a in assignments
-    ]
+    assignments = dirichlet_partition_indices(
+        dataset.labels, num_clients, alpha, rng
+    )
+    assignments = rebalance_min_per_client(
+        assignments, dataset.labels, min_per_client
+    )
+    return [dataset.subset(a) for a in assignments]
 
 
 @dataclass
@@ -126,6 +195,23 @@ class FederationConfig:
     SecAgg reconstruction threshold instead of the default strict
     majority.  They are rejected for instances (the instance is already
     configured).
+
+    Event-engine knobs (all default to the legacy-compatible behaviour):
+
+    - ``arrivals`` / ``arrival_options``: a named arrival process
+      (``"instant"``, ``"uniform"``, ``"tiered"``, ``"tiered-diurnal"``)
+      with its constructor options; ``None`` is the rate-driven compat
+      process.
+    - ``round_duration_s`` / ``min_arrivals``: a positive duration closes
+      each round on a :class:`~repro.fl.engine.TimeCutoff` after that
+      many simulated seconds (with an optional grace floor); zero keeps
+      the legacy count cutoff.
+    - ``fleet_size`` / ``shard_size``: a positive ``fleet_size`` registers
+      that many users in a lazy fleet instead of eagerly partitioning
+      ``num_clients`` shards; each materialized client samples a
+      ``shard_size`` private shard (``0`` → ``batch_size``) keyed by its
+      id, so any cohort is reproducible without touching the rest of the
+      fleet.
     """
 
     num_clients: int = 10
@@ -141,10 +227,23 @@ class FederationConfig:
     aggregator: "str | type[Aggregator] | Aggregator" = "fedavg"
     aggregator_options: Optional[dict] = None
     weight_by_examples: bool = False
+    arrivals: Optional[str] = None
+    arrival_options: Optional[dict] = None
+    round_duration_s: float = 0.0
+    min_arrivals: int = 0
+    fleet_size: int = 0
+    shard_size: int = 0
 
     def make_aggregator(self) -> Aggregator:
         """Resolve the configured aggregation rule to an instance."""
         return make_aggregator(self.aggregator, **(self.aggregator_options or {}))
+
+    def make_cutoff(self) -> "CountCutoff | TimeCutoff":
+        """Resolve the configured round-close policy."""
+        return make_cutoff(
+            round_duration_s=self.round_duration_s or None,
+            min_arrivals=self.min_arrivals,
+        )
 
     def make_shards(
         self, dataset: SyntheticImageDataset
@@ -165,6 +264,49 @@ class FederationConfig:
         )
 
 
+def make_lazy_fleet(
+    dataset: SyntheticImageDataset,
+    model_factory: Callable[[], Module],
+    config: FederationConfig,
+    defense: Optional[ClientDefense] = None,
+) -> Fleet:
+    """A ``config.fleet_size``-user fleet materializing clients on demand.
+
+    Each client's shard is a ``shard_size`` sample of the dataset keyed by
+    ``(seed, "fleet-shard", client_id)`` — a pure function of the id, so
+    whichever cohort the server happens to dispatch sees the same data in
+    any run, on any worker, regardless of who else materialized.
+    ``model_factory`` must likewise be order-independent (seeded
+    internally, as every factory in this repo is): with a lazy fleet it
+    runs at materialization time, in dispatch order.
+    """
+    if config.fleet_size <= 0:
+        raise ValueError("fleet_size must be positive for a lazy fleet")
+    shard_size = config.shard_size or config.batch_size
+    if shard_size > len(dataset):
+        raise ValueError("shard_size cannot exceed the dataset")
+    loss_fn = CrossEntropyLoss()
+
+    def factory(client_id: int) -> Client:
+        shard_rng = np.random.default_rng(
+            seed_sequence_for(config.seed, "fleet-shard", str(client_id))
+        )
+        indices = np.sort(
+            shard_rng.choice(len(dataset), size=shard_size, replace=False)
+        )
+        return Client(
+            client_id=client_id,
+            dataset=dataset.subset(indices),
+            model=model_factory(),
+            loss_fn=loss_fn,
+            batch_size=config.batch_size,
+            defense=defense,
+            seed=config.seed,
+        )
+
+    return Fleet(config.fleet_size, factory)
+
+
 class FederatedSimulation:
     """A ready-to-run federation over one dataset.
 
@@ -183,20 +325,25 @@ class FederatedSimulation:
         target_client_id: Optional[int] = None,
     ) -> None:
         self.config = config
-        shards = config.make_shards(dataset)
-        loss_fn = CrossEntropyLoss()
-        self.clients = [
-            Client(
-                client_id=i,
-                dataset=shard,
-                model=model_factory(),
-                loss_fn=loss_fn,
-                batch_size=config.batch_size,
-                defense=defense,
-                seed=config.seed,
+        if config.fleet_size:
+            self.fleet = make_lazy_fleet(dataset, model_factory, config, defense)
+        else:
+            shards = config.make_shards(dataset)
+            loss_fn = CrossEntropyLoss()
+            self.fleet = Fleet.from_clients(
+                [
+                    Client(
+                        client_id=i,
+                        dataset=shard,
+                        model=model_factory(),
+                        loss_fn=loss_fn,
+                        batch_size=config.batch_size,
+                        defense=defense,
+                        seed=config.seed,
+                    )
+                    for i, shard in enumerate(shards)
+                ]
             )
-            for i, shard in enumerate(shards)
-        ]
         global_model = model_factory()
         server_kwargs = dict(
             learning_rate=config.learning_rate,
@@ -207,17 +354,25 @@ class FederatedSimulation:
             accept_stale=config.accept_stale,
             weight_by_examples=config.weight_by_examples,
             seed=config.seed,
+            arrivals=config.arrivals,
+            arrival_options=config.arrival_options,
+            cutoff=config.make_cutoff(),
         )
         if attack is None:
-            self.server: Server = Server(global_model, self.clients, **server_kwargs)
+            self.server: Server = Server(global_model, self.fleet, **server_kwargs)
         else:
             self.server = DishonestServer(
                 global_model,
-                self.clients,
+                self.fleet,
                 attack=attack,
                 target_client_id=target_client_id,
                 **server_kwargs,
             )
+
+    @property
+    def clients(self) -> list[Client]:
+        """The fully-materialized roster (legacy view; prefer ``fleet``)."""
+        return self.fleet.materialize_all()
 
     def run(self, num_rounds: int):
         """Run the federation for ``num_rounds`` and return the records."""

@@ -16,6 +16,10 @@ The rules, and the invariant each one guards:
 - ``no-wallclock`` (:mod:`.wallclock`): cell execution and fingerprints
   never read the wall clock — a timestamp in a result or a key makes two
   identical runs differ.
+- ``no-sim-wallclock`` (:mod:`.sim_wallclock`): the federation stack
+  (``repro/fl``) derives all timing from the virtual clock — ``time`` /
+  ``datetime`` are banned there outright, ``perf_counter`` included,
+  where the general rule would allow interval timing.
 - ``sorted-iteration`` (:mod:`.ordering`): unordered collections (sets,
   ``dict.keys()`` views, directory listings) are sorted before anything
   order-sensitive consumes them.
@@ -36,5 +40,6 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     pickling,
     registry_sync,
     rng,
+    sim_wallclock,
     wallclock,
 )

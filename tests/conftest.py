@@ -22,6 +22,10 @@ GATED_MARKERS = {
         "full attack x defense x scenario sweep grids and benchmark-sized "
         "runs, skipped unless selected with -m"
     ),
+    "fleet_scale": (
+        "sustained multi-round federation soaks at 1k+ active clients over "
+        "lazy fleets, skipped unless selected with -m"
+    ),
 }
 
 

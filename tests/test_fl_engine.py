@@ -1,0 +1,517 @@
+"""Event-engine tests: legacy byte-identity, clock/heap determinism, cutoffs.
+
+The load-bearing suite here is :class:`TestLegacyByteIdentity`: a verbatim
+copy of the pre-engine synchronous ``run_round`` loop (as
+:class:`LegacyRoundMixin`) runs side by side with the event engine's
+degenerate count-cutoff configuration, and every ``RoundRecord`` field,
+every aggregate, and the final model state must match exactly — the
+acceptance criterion that lets the engine replace the loop without
+invalidating a single golden value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    DishonestServer,
+    GradientUpdate,
+    RoundBuffer,
+    Server,
+)
+from repro.fl.engine import (
+    CountCutoff,
+    Event,
+    EventQueue,
+    TimeCutoff,
+    VirtualClock,
+    make_cutoff,
+    ticks,
+)
+from repro.fl.arrivals import (
+    DiurnalCycle,
+    InstantArrivals,
+    TieredArrivals,
+    UniformArrivals,
+    make_arrivals,
+)
+from repro.fl.secagg.base import BelowThresholdError
+from repro.nn.module import Module
+
+DIM = 4
+
+
+class StubClient:
+    """Deterministic fake client: every gradient entry equals its id."""
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+
+    def local_update(self, broadcast) -> GradientUpdate:
+        return GradientUpdate(
+            client_id=self.client_id,
+            round_index=broadcast.round_index,
+            num_examples=1,
+            gradients={"w": np.full(DIM, float(self.client_id))},
+            loss=float(self.client_id),
+        )
+
+
+class LegacyRoundMixin:
+    """The pre-engine synchronous round loop, verbatim.
+
+    Drives every selected client inline in selection order, draws
+    dropout/straggler coin flips from the server RNG itself, and builds
+    the round buffer only after all updates exist — the exact code the
+    event engine replaced, kept here as the byte-identity reference.
+    """
+
+    def _legacy_select_clients(self):
+        indices = self._rng.choice(
+            len(self.fleet), size=self.clients_per_round, replace=False
+        )
+        return [self.fleet.get(int(i)) for i in indices]
+
+    def _legacy_simulate_participation(self, participants):
+        if self.dropout_rate == 0.0 and self.straggler_rate == 0.0:
+            return list(participants), [], []
+        active, dropped, stragglers = [], [], []
+        for client in participants:
+            if self._rng.random() < self.dropout_rate:
+                dropped.append(client)
+            elif self._rng.random() < self.straggler_rate:
+                stragglers.append(client)
+            else:
+                active.append(client)
+        return active, dropped, stragglers
+
+    def run_round(self):
+        from repro.fl.messages import RoundRecord
+
+        protocol_mode = getattr(self.aggregator, "requires_commitment", False)
+        broadcast = self.prepare_broadcast()
+        selected = self._legacy_select_clients()
+        active, dropped, stragglers = self._legacy_simulate_participation(
+            selected
+        )
+        updates = [
+            client.local_update(self.broadcast_to(client, broadcast))
+            for client in active
+        ]
+        late = (
+            []
+            if protocol_mode
+            else [
+                client.local_update(self.broadcast_to(client, broadcast))
+                for client in stragglers
+            ]
+        )
+        stale = self._stale_updates if self.accept_stale else []
+        self._stale_updates = late
+        attack_events = (
+            [] if protocol_mode else self.inspect_updates(updates + stale)
+        )
+        arrivals = updates + stale
+        secagg_meta = None
+        weights = (
+            [u.num_examples for u in arrivals]
+            if (self.weight_by_examples and arrivals)
+            else None
+        )
+        aggregated = None
+        if arrivals:
+            buffer = RoundBuffer.for_updates([u.gradients for u in arrivals])
+            if protocol_mode:
+                try:
+                    aggregated = self.aggregator.aggregate_committed(
+                        buffer,
+                        survivor_ids=[u.client_id for u in arrivals],
+                        committed_ids=[c.client_id for c in selected],
+                        round_index=self.round_index,
+                        weights=weights,
+                    )
+                    secagg_meta = dict(self.aggregator.last_metadata)
+                except BelowThresholdError as error:
+                    secagg_meta = {
+                        "protocol": self.aggregator.name,
+                        "aborted": True,
+                        "survivors": error.survivors,
+                        "threshold": error.threshold,
+                    }
+                    arrivals = []
+            else:
+                aggregated = self.aggregator.aggregate_buffer(
+                    buffer, weights, round_index=self.round_index
+                )
+        if aggregated is not None:
+            self.apply_aggregate(aggregated)
+            self.last_aggregate = aggregated
+            attack_events = attack_events + self.inspect_aggregate(aggregated)
+        else:
+            self.last_aggregate = None
+        record = RoundRecord(
+            round_index=self.round_index,
+            participant_ids=[u.client_id for u in arrivals],
+            mean_loss=(
+                float(np.mean([u.loss for u in arrivals]))
+                if arrivals
+                else float("nan")
+            ),
+            attack_events=attack_events,
+            selected_ids=[c.client_id for c in selected],
+            dropped_ids=[c.client_id for c in dropped],
+            straggler_ids=[c.client_id for c in stragglers],
+            stale_ids=[u.client_id for u in stale],
+            aggregator=self.aggregator.name,
+            weighting=self.aggregator.effective_weighting(weights),
+            secagg=secagg_meta,
+        )
+        self.history.append(record)
+        self.round_index += 1
+        return record
+
+
+class LegacyServer(LegacyRoundMixin, Server):
+    pass
+
+
+class LegacyDishonestServer(LegacyRoundMixin, DishonestServer):
+    pass
+
+
+def assert_records_identical(engine_records, legacy_records):
+    """Field-for-field RoundRecord equality (nan-aware on mean_loss)."""
+    assert len(engine_records) == len(legacy_records)
+    for ours, reference in zip(engine_records, legacy_records):
+        ours = dataclasses.asdict(ours)
+        reference = dataclasses.asdict(reference)
+        ours_loss = ours.pop("mean_loss")
+        reference_loss = reference.pop("mean_loss")
+        if np.isnan(reference_loss):
+            assert np.isnan(ours_loss)
+        else:
+            assert ours_loss == reference_loss
+        assert ours == reference
+
+
+# Every rate-based participation regime the legacy loop supported.
+IDENTITY_SCENARIOS = [
+    dict(),
+    dict(clients_per_round=5),
+    dict(dropout_rate=0.3),
+    dict(straggler_rate=0.4),
+    dict(dropout_rate=0.2, straggler_rate=0.3),
+    dict(dropout_rate=0.2, straggler_rate=0.3, accept_stale=True),
+    dict(dropout_rate=1.0),
+    dict(straggler_rate=1.0, accept_stale=True),
+    dict(clients_per_round=6, dropout_rate=0.25, aggregator="median"),
+    dict(weight_by_examples=True),
+    dict(aggregator="masked_sum", dropout_rate=0.25),
+]
+
+
+class TestLegacyByteIdentity:
+    @pytest.mark.parametrize("kwargs", IDENTITY_SCENARIOS)
+    @pytest.mark.parametrize("seed", [0, 3, 42])
+    def test_records_match_legacy_loop(self, kwargs, seed):
+        engine = Server(
+            Module(), [StubClient(i) for i in range(10)], seed=seed, **kwargs
+        )
+        legacy = LegacyServer(
+            Module(), [StubClient(i) for i in range(10)], seed=seed, **kwargs
+        )
+        assert_records_identical(engine.run(6), legacy.run(6))
+        if engine.last_aggregate is None:
+            assert legacy.last_aggregate is None
+        else:
+            np.testing.assert_array_equal(
+                engine.last_aggregate["w"], legacy.last_aggregate["w"]
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(aggregator="secagg"),
+            dict(aggregator="secagg", dropout_rate=0.25),
+            dict(aggregator="secagg_oneshot", dropout_rate=0.25),
+            dict(aggregator="secagg", dropout_rate=0.6),  # abort regime
+        ],
+    )
+    def test_secagg_commit_then_drop_matches_legacy(self, kwargs):
+        engine = Server(
+            Module(), [StubClient(i) for i in range(8)], seed=7, **kwargs
+        )
+        legacy = LegacyServer(
+            Module(), [StubClient(i) for i in range(8)], seed=7, **kwargs
+        )
+        assert_records_identical(engine.run(4), legacy.run(4))
+
+    def test_dishonest_server_matches_legacy(self):
+        class RecordingAttack:
+            name = "recording"
+
+            def craft(self, model):
+                pass
+
+            def reconstruct(self, gradients):
+                # The reconstruction payload is the gradient itself, so a
+                # compute-order difference would change stored results.
+                return [gradients["w"].copy()]
+
+        engine = DishonestServer(
+            Module(),
+            [StubClient(i) for i in range(12)],
+            RecordingAttack(),
+            dropout_rate=0.2,
+            straggler_rate=0.3,
+            accept_stale=True,
+            seed=11,
+        )
+        legacy = LegacyDishonestServer(
+            Module(),
+            [StubClient(i) for i in range(12)],
+            RecordingAttack(),
+            dropout_rate=0.2,
+            straggler_rate=0.3,
+            accept_stale=True,
+            seed=11,
+        )
+        assert_records_identical(engine.run(5), legacy.run(5))
+        assert engine.reconstructions.keys() == legacy.reconstructions.keys()
+        for key, results in engine.reconstructions.items():
+            for ours, reference in zip(results, legacy.reconstructions[key]):
+                np.testing.assert_array_equal(ours, reference)
+
+    def test_compat_records_carry_no_timing(self):
+        server = Server(Module(), [StubClient(i) for i in range(4)], seed=0)
+        assert server.run_round().timing is None
+
+    def test_engine_rounds_are_deterministic(self):
+        def run():
+            server = Server(
+                Module(),
+                [StubClient(i) for i in range(10)],
+                dropout_rate=0.2,
+                straggler_rate=0.2,
+                accept_stale=True,
+                seed=5,
+            )
+            return server.run(5)
+
+        assert_records_identical(run(), run())
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0
+        clock.advance_to(ticks(1.5))
+        assert clock.now == 1_500_000
+        assert clock.now_s == pytest.approx(1.5)
+
+    def test_never_runs_backwards(self):
+        clock = VirtualClock(start=10)
+        with pytest.raises(ValueError):
+            clock.advance_to(9)
+
+
+class TestEventQueue:
+    def test_pop_order_is_sorted_key_order(self):
+        events = [
+            Event(5, "completion", 2),
+            Event(5, "close"),
+            Event(5, "completion", 1),
+            Event(3, "completion", 9),
+        ]
+        queue = EventQueue(events)
+        popped = [queue.pop() for _ in range(len(events))]
+        assert popped == sorted(events, key=lambda e: e.sort_key)
+        # Completions at the deadline tick beat the close event: an
+        # update landing exactly at the cutoff is on time.
+        assert [e.kind for e in popped] == [
+            "completion", "completion", "completion", "close",
+        ]
+
+    def test_duplicate_keys_rejected(self):
+        queue = EventQueue([Event(1, "completion", 4)])
+        with pytest.raises(ValueError):
+            queue.push(Event(1, "completion", 4))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event(0, "arrival")
+
+
+class TestCutoffs:
+    def test_make_cutoff_resolves_policies(self):
+        assert make_cutoff() == CountCutoff()
+        assert make_cutoff(count_target=3) == CountCutoff(target=3)
+        timed = make_cutoff(round_duration_s=0.5, min_arrivals=2)
+        assert timed == TimeCutoff(ticks(0.5), min_arrivals=2)
+
+    def test_invalid_cutoffs_rejected(self):
+        with pytest.raises(ValueError):
+            CountCutoff(target=0)
+        with pytest.raises(ValueError):
+            TimeCutoff(0)
+        with pytest.raises(ValueError):
+            TimeCutoff(10, min_arrivals=-1)
+
+    def test_time_cutoff_produces_emergent_stragglers(self):
+        server = Server(
+            Module(),
+            [StubClient(i) for i in range(8)],
+            arrivals="uniform",
+            arrival_options={"low_s": 0.1, "high_s": 1.0},
+            cutoff=TimeCutoff(ticks(0.5)),
+            seed=2,
+        )
+        records = server.run(4)
+        assert any(r.straggler_ids for r in records), (
+            "a 0.5s cutoff over 0.1-1.0s latencies must strand someone"
+        )
+        for record in records:
+            assert record.timing is not None
+            assert record.timing["cutoff"] == "time"
+            deadline = record.timing["opened_at"] + ticks(0.5)
+            for _, tick in record.timing["arrival_ticks"]:
+                assert tick <= deadline
+            for _, tick in record.timing["late_ticks"]:
+                assert tick > deadline
+
+    def test_time_cutoff_min_arrivals_floor(self):
+        # Deadline far below every possible latency: the grace floor must
+        # hold the round open until one update lands.
+        server = Server(
+            Module(),
+            [StubClient(i) for i in range(6)],
+            arrivals="uniform",
+            arrival_options={"low_s": 1.0, "high_s": 2.0},
+            cutoff=TimeCutoff(ticks(0.01), min_arrivals=1),
+            seed=0,
+        )
+        record = server.run_round()
+        assert len(record.participant_ids) == 1
+        assert len(record.straggler_ids) == 5
+
+    def test_count_target_closes_early(self):
+        server = Server(
+            Module(),
+            [StubClient(i) for i in range(8)],
+            arrivals="uniform",
+            cutoff=CountCutoff(target=3),
+            seed=1,
+        )
+        record = server.run_round()
+        assert len(record.participant_ids) == 3
+        assert len(record.straggler_ids) == 5
+
+    def test_virtual_clock_advances_across_rounds(self):
+        server = Server(
+            Module(),
+            [StubClient(i) for i in range(4)],
+            arrivals="uniform",
+            cutoff=TimeCutoff(ticks(0.5), min_arrivals=1),
+            seed=0,
+        )
+        opened = []
+        for _ in range(3):
+            record = server.run_round()
+            opened.append(record.timing["opened_at"])
+        assert opened == sorted(opened)
+        assert server.clock.now >= opened[-1]
+
+
+class TestArrivalProcesses:
+    def test_instant_reproduces_rate_draws(self):
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        process = InstantArrivals(dropout_rate=0.3, straggler_rate=0.2)
+        plan = process.plan_round(list(range(32)), 0, 0, rng_a)
+        # Reference: the legacy per-client coin-flip sequence.
+        active, dropped, stragglers = [], [], []
+        for client_id in range(32):
+            if rng_b.random() < 0.3:
+                dropped.append(client_id)
+            elif rng_b.random() < 0.2:
+                stragglers.append(client_id)
+            else:
+                active.append(client_id)
+        assert plan.unavailable == dropped
+        assert plan.expected_fresh == len(active)
+        scheduled = [c.client_id for c in plan.dispatched]
+        assert scheduled == active + stragglers
+        times = [c.time for c in plan.dispatched]
+        assert times == sorted(times) and len(set(times)) == len(times)
+
+    def test_instant_zero_rates_draws_nothing(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        InstantArrivals().plan_round(list(range(8)), 0, 0, rng)
+        assert rng.bit_generator.state == before
+
+    def test_trace_processes_reject_rate_knobs(self):
+        with pytest.raises(ValueError, match="rate knobs"):
+            make_arrivals("tiered", dropout_rate=0.1)
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            make_arrivals("bursty")
+
+    def test_uniform_latency_is_order_invariant(self):
+        process = UniformArrivals(seed=9)
+        rng = np.random.default_rng(0)
+        forward = process.plan_round([1, 2, 3, 4], 5, 100, rng)
+        backward = process.plan_round([4, 3, 2, 1], 5, 100, rng)
+        assert {c.client_id: c.time for c in forward.dispatched} == {
+            c.client_id: c.time for c in backward.dispatched
+        }
+
+    def test_tiered_assignment_is_stable_and_weighted(self):
+        process = TieredArrivals(seed=0)
+        tiers = [process.tier_of(cid).name for cid in range(2000)]
+        assert tiers == [process.tier_of(cid).name for cid in range(2000)]
+        counts = {name: tiers.count(name) for name in set(tiers)}
+        # The mid tier holds 55% of the fleet; it must dominate.
+        assert max(counts, key=counts.get) == "mid"
+        assert len(counts) == 4
+
+    def test_tiered_slow_tiers_straggle(self):
+        process = TieredArrivals(seed=3)
+        delays: dict[str, list[int]] = {}
+        for cid in range(500):
+            delay = process.completion_delay(cid, 0)
+            if delay is not None:
+                delays.setdefault(process.tier_of(cid).name, []).append(delay)
+        assert np.mean(delays["iot"]) > np.mean(delays["flagship"])
+
+    def test_diurnal_cycle_gates_availability(self):
+        cycle = DiurnalCycle(period_s=10.0, duty_cycle=0.5)
+        available = [
+            cycle.available(cid, 0, seed=0) for cid in range(400)
+        ]
+        # Phase offsets spread the fleet: roughly half reachable at t=0.
+        fraction = np.mean(available)
+        assert 0.3 < fraction < 0.7
+        # A client flips availability somewhere within one period.
+        for cid in range(10):
+            states = {
+                cycle.available(cid, ticks(t / 10), seed=0)
+                for t in range(100)
+            }
+            assert states == {True, False}
+
+    def test_diurnal_fleet_still_makes_progress(self):
+        server = Server(
+            Module(),
+            [StubClient(i) for i in range(16)],
+            arrivals="tiered-diurnal",
+            cutoff=TimeCutoff(ticks(2.0), min_arrivals=1),
+            seed=4,
+        )
+        records = server.run(3)
+        assert any(r.participant_ids for r in records)
+        assert any(r.timing["unavailable"] for r in records), (
+            "a 50% duty cycle should leave some selected clients offline"
+        )

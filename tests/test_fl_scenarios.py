@@ -15,7 +15,9 @@ from repro.fl import (
     FederationConfig,
     GradientUpdate,
     Server,
+    dirichlet_partition_indices,
     partition_dataset_dirichlet,
+    rebalance_min_per_client,
 )
 from repro.nn import MLP
 from repro.nn.module import Module
@@ -289,6 +291,49 @@ class TestNonIIDFederation:
             np.bincount(s.labels, minlength=4).max() / len(s) for s in skewed
         )
         assert dominance > 0.5
+
+    def test_rebalance_pins_exact_assignment(self, dataset):
+        # Regression pin for the vectorized min_per_client rebalancing:
+        # alpha=0.1 at seed 7 starves shard 3 entirely (sizes
+        # [7, 29, 19, 0, 1, 8]) and the deterministic donor pass must
+        # reproduce this exact reassignment forever.  Donors drain
+        # richest-first (shard 1), giving away their most-abundant
+        # labels first; no RNG is consumed.
+        labels = dataset.labels
+        raw = dirichlet_partition_indices(
+            labels, 6, 0.1, np.random.default_rng(7)
+        )
+        assert [len(a) for a in raw] == [7, 29, 19, 0, 1, 8]
+        balanced = rebalance_min_per_client(raw, labels, 4)
+        expected = [
+            [0, 4, 6, 26, 28, 30, 33],
+            [11, 13, 14, 19, 21, 23, 27, 32, 35, 36, 37, 39, 41, 42, 46,
+             47, 49, 53, 54, 59, 60, 62],
+            [12, 15, 16, 20, 22, 29, 34, 38, 43, 44, 48, 50, 52, 55, 56,
+             57, 58, 61, 63],
+            [1, 2, 5, 7],
+            [8, 9, 10, 18],
+            [3, 17, 24, 25, 31, 40, 45, 51],
+        ]
+        assert [sorted(a.tolist()) for a in balanced] == expected
+
+    def test_rebalance_preserves_coverage_and_consumes_no_rng(self, dataset):
+        labels = dataset.labels
+        rng = np.random.default_rng(7)
+        raw = dirichlet_partition_indices(labels, 6, 0.1, rng)
+        state_before = rng.bit_generator.state
+        balanced = rebalance_min_per_client(raw, labels, 4)
+        assert rng.bit_generator.state == state_before
+        assert all(len(a) >= 4 for a in balanced)
+        merged = np.sort(np.concatenate(balanced))
+        np.testing.assert_array_equal(merged, np.arange(len(labels)))
+
+    def test_rebalance_rejects_impossible_minimum(self, dataset):
+        raw = dirichlet_partition_indices(
+            dataset.labels, 6, 0.5, np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError, match="not enough samples"):
+            rebalance_min_per_client(raw, dataset.labels, len(dataset))
 
     def test_validates_inputs(self, dataset):
         with pytest.raises(ValueError):

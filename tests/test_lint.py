@@ -38,6 +38,7 @@ EXPECTED_RULES = {
     "no-global-rng",
     "no-raw-write",
     "no-wallclock",
+    "no-sim-wallclock",
     "sorted-iteration",
     "picklable-entry",
     "registry-knob-sync",
@@ -58,15 +59,19 @@ def rule_names(violations: list[Violation]) -> set[str]:
 
 
 class TestRuleRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert EXPECTED_RULES <= set(available_rules())
 
     def test_profiles(self):
         lib = {rule.name for rule in rules_for("lib")}
         bench = {rule.name for rule in rules_for("bench")}
         assert lib == EXPECTED_RULES
-        # bench relaxes the write/wallclock rules and nothing else.
-        assert bench == EXPECTED_RULES - {"no-raw-write", "no-wallclock"}
+        # bench relaxes the write/wallclock rules and nothing else
+        # (no-sim-wallclock only ever applies under src/repro/fl, which
+        # the bench profile never lints).
+        assert bench == EXPECTED_RULES - {
+            "no-raw-write", "no-wallclock", "no-sim-wallclock"
+        }
 
     def test_unknown_profile_rejected(self):
         with pytest.raises(LintRegistryError, match="unknown lint profile"):
@@ -286,6 +291,52 @@ class TestNoWallclock:
             source,
             rules=[r for r in rules_for("bench") if r.scope == "file"],
         ) == []
+
+
+# ---------------------------------------------------------------------------
+# no-sim-wallclock
+# ---------------------------------------------------------------------------
+
+
+class TestNoSimWallclock:
+    """Inside ``repro/fl`` the wallclock ban is total — even the interval
+    timers the general rule allows measure the host, not the federation."""
+
+    def fl_lint(self, source: str, path="src/repro/fl/engine.py"):
+        return lint_source(textwrap.dedent(source), path=path)
+
+    def test_perf_counter_flagged_in_fl_tree(self):
+        violations = self.fl_lint("""
+            import time
+            start = time.perf_counter()
+        """)
+        assert "no-sim-wallclock" in rule_names(violations)
+
+    def test_time_and_datetime_imports_flagged(self):
+        violations = self.fl_lint("""
+            import time
+            from datetime import datetime
+        """)
+        assert [
+            v.rule for v in violations if v.rule == "no-sim-wallclock"
+        ] == ["no-sim-wallclock"] * 2
+
+    def test_silent_outside_fl_tree(self):
+        # perf_counter in, say, the sweep executor is the general rule's
+        # business (allowed); this rule must not fire there.
+        violations = lint_source(
+            "import time\nstart = time.perf_counter()\n",
+            path="src/repro/experiments/sweep.py",
+        )
+        assert "no-sim-wallclock" not in rule_names(violations)
+
+    def test_virtual_clock_code_clean(self):
+        assert self.fl_lint("""
+            TICKS_PER_SECOND = 1_000_000
+
+            def ticks(seconds):
+                return int(round(seconds * TICKS_PER_SECOND))
+        """) == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for core invariants.
 
-Six invariant families, each load-bearing for the reproduction:
+Invariant families, each load-bearing for the reproduction:
 
 1. Autograd: gradients match finite differences on random inputs/shapes.
 2. Augmentation: the geometric identities the defense analysis relies on
@@ -9,6 +9,9 @@ Six invariant families, each load-bearing for the reproduction:
 4. Aggregation: FedAvg linearity/convexity (Eq. 1).
 5. Partitioning: Dirichlet label skew covers every sample exactly once.
 6. Aggregators: every rule is invariant to the order clients report in.
+7. SecAgg: any supra-threshold survivor set recovers the exact sum.
+8. Event engine: heap pop order and arrival plans are pure functions of
+   the event/cohort *set*, never of push or registration order.
 """
 
 from __future__ import annotations
@@ -20,7 +23,15 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import array_shapes, arrays
 
 from repro.augment import horizontal_flip, rotate, shear, vertical_flip
-from repro.fl import average_gradients, dirichlet_partition_indices, make_aggregator
+from repro.fl import (
+    Event,
+    EventQueue,
+    UniformArrivals,
+    average_gradients,
+    dirichlet_partition_indices,
+    make_aggregator,
+)
+from repro.fl.engine import EVENT_KINDS
 from repro.metrics import PSNR_CEILING, psnr
 from repro.tensor import Tensor
 from repro.utils import numerical_gradient
@@ -300,3 +311,84 @@ class TestSecAggRecoveryProperties:
             aggregator.protocol_round(
                 matrix[survivors], survivors, list(range(n)), round_index=2
             )
+
+
+class TestEventHeapOrderInvariance:
+    """Engine invariant: pop order is a pure function of the event *set*.
+
+    The sort key is the event's identity ``(time, kind priority,
+    client_id)`` — never a heap insertion counter — so the order clients
+    were registered, selected, or pushed can never leak into the round's
+    timeline.  This is what makes time-cutoff arms byte-identical across
+    serial and parallel sweep executions.
+    """
+
+    event_triples = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),
+            st.sampled_from(EVENT_KINDS),
+            st.integers(min_value=-1, max_value=40),
+        ),
+        min_size=1,
+        max_size=24,
+        unique=True,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(triples=event_triples, seed=st.integers(min_value=0, max_value=2**16))
+    def test_pop_order_invariant_to_push_order(self, triples, seed):
+        events = [Event(time=t, kind=k, client_id=c) for t, k, c in triples]
+        expected = sorted(e.sort_key for e in events)
+        order = np.random.default_rng(seed).permutation(len(events))
+        queue = EventQueue([events[i] for i in order])
+        popped = []
+        while queue:
+            popped.append(queue.pop().sort_key)
+        assert popped == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(triples=event_triples, seed=st.integers(min_value=0, max_value=2**16))
+    def test_interleaved_push_pop_emits_sorted_remainder(self, triples, seed):
+        # Pops interleaved with further pushes (the engine schedules the
+        # close event mid-round) still always emit the smallest queued
+        # keys, and the final drain is the sorted remaining set.
+        events = [Event(time=t, kind=k, client_id=c) for t, k, c in triples]
+        rng = np.random.default_rng(seed)
+        shuffled = [events[i] for i in rng.permutation(len(events))]
+        half = len(shuffled) // 2
+        queue = EventQueue(shuffled[:half])
+        early = [queue.pop().sort_key for _ in range(len(queue) // 2)]
+        assert early == sorted(e.sort_key for e in shuffled[:half])[: len(early)]
+        for event in shuffled[half:]:
+            queue.push(event)
+        drained = []
+        while queue:
+            drained.append(queue.pop().sort_key)
+        remaining = set(e.sort_key for e in events) - set(early)
+        assert drained == sorted(remaining)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ids=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=16,
+            unique=True,
+        ),
+        round_index=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+        arrivals_seed=st.integers(min_value=0, max_value=2**8),
+    )
+    def test_arrival_plans_invariant_to_registration_order(
+        self, ids, round_index, seed, arrivals_seed
+    ):
+        # Trace RNG streams are keyed per (client, round), so the plan's
+        # completion tick for a client cannot depend on cohort order.
+        process = UniformArrivals(seed=arrivals_seed)
+        order = np.random.default_rng(seed).permutation(len(ids))
+        base = process.plan_round(ids, round_index, 0, np.random.default_rng(0))
+        shuffled = process.plan_round(
+            [ids[i] for i in order], round_index, 0, np.random.default_rng(0)
+        )
+        by_id = {s.client_id: s.time for s in base.dispatched}
+        assert {s.client_id: s.time for s in shuffled.dispatched} == by_id

@@ -113,6 +113,28 @@ class TestExecutorEquivalence:
         assert serial_path.read_bytes() == parallel_path.read_bytes()
         assert parallel.results == serial.results
 
+    def test_time_cutoff_arms_byte_identical_to_serial(
+        self, sweep_dataset, tmp_path
+    ):
+        # Event-engine arms: rounds close on the virtual clock, arrival
+        # traces come from per-(client, round) keyed streams, and one arm
+        # samples a lazy fleet.  None of that may depend on worker count
+        # — simulated time is as order-invariant as everything else.
+        scenarios = sweep_module.FLEET_SCENARIOS
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        serial = make_runner(
+            sweep_dataset, store=serial_path, scenarios=scenarios
+        ).run()
+        parallel = make_runner(
+            sweep_dataset, store=parallel_path, scenarios=scenarios
+        ).run(WorkStealingSweepExecutor(2))
+        assert len(serial.computed) == len(parallel.computed) == 2 * len(
+            scenarios
+        )
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        assert parallel.results == serial.results
+
     def test_worker_count_invariance(self, sweep_dataset, tmp_path):
         references = None
         for workers in (1, 2, 3):
