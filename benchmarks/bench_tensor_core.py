@@ -1,0 +1,392 @@
+"""Tensor-core bench: fused kernels vs the reference graph, gated.
+
+The tensor/NN core ships two kernel modes (``repro.tensor.backend``):
+``reference`` preserves the pre-acceleration op-for-op graph, ``fused``
+collapses the hot chains (linear, cross-entropy, mean/var, im2col/col2im)
+into single nodes backed by pooled buffers.  Both modes are bit-identical
+by construction, which makes the reference mode an in-repo A/B baseline:
+every speedup recorded here is measured against it *in the same process*,
+not against a number typed in from some other machine.
+
+Gates (each set with margin below what this suite measures on a loaded
+CI worker, so they fail on regression, not on scheduler noise):
+
+- graph-node reduction: a fused MLP + cross-entropy training step builds
+  >= 3x fewer autograd nodes than the reference graph, and the fused
+  cross-entropy chain alone collapses >= 5x — fusion's
+  machine-independent measure, and where the acceleration comes from;
+- wall-clock ratios: client update loop, gradient-only loop, fused
+  cross-entropy, conv2d forward+backward, and a 30-round sweep cell all
+  beat reference mode by their gated factors;
+- optimizer steps (``out=`` in-place SGD/Adam) are no slower than the
+  allocating reference forms;
+- the ``_im2col_indices`` LRU cache turns repeat index-grid construction
+  into a lookup;
+- the 30-round sweep cell's result dict is equal across modes — the A/B
+  equivalence oracle at bench scale.
+
+Results merge into ``BENCH_tensor_core.json`` next to this file.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_tensor_core.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import bench_rng, record_report
+from repro.experiments.sweep import GRID_PRESETS
+from repro.nn import MLP, Adam, CrossEntropyLoss, SGD, small_cnn
+from repro.profile import Profiler
+from repro.tensor import Tensor, reference_kernels
+from repro.tensor.conv import _im2col_indices, conv2d
+
+JSON_PATH = Path(__file__).parent / "BENCH_tensor_core.json"
+
+# Node-count gates are exact graph measurements (no timing noise): a full
+# MLP training step fuses 24 reference nodes into 6, and the cross-entropy
+# chain alone — the deepest fused chain — collapses 12 nodes into 1.
+GATE_NODE_REDUCTION = 3.0
+GATE_CE_NODE_REDUCTION = 5.0
+
+# Wall-clock gates: minimum fused/reference speedup per workload.  The
+# suite measures roughly 1.3-1.9x (training loops), 1.4-2.2x
+# (cross-entropy), 1.3-1.6x (conv), 1.1-1.3x (sweep cell) across repeat
+# runs on a loaded worker; gates sit under the *minimum observed* ratio
+# so only a real regression trips them, not scheduler noise.
+GATE_UPDATE_LOOP = 1.10
+GATE_GRADS_LOOP = 1.15
+GATE_CROSS_ENTROPY = 1.25
+GATE_CONV = 1.10
+GATE_SWEEP_CELL = 1.03
+GATE_OPTIMIZER_FLOOR = 0.80  # in-place steps must not be slower
+GATE_INDEX_CACHE = 5.0
+
+_RESULTS: dict = {}
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _ab(fn, rounds: int = 7) -> tuple[float, float]:
+    """Time ``fn`` fused and under ``reference_kernels``, interleaved.
+
+    Alternating mode per round (rather than timing one block then the
+    other) means a transient load spike on a shared runner inflates both
+    modes' samples instead of silently skewing one side's best-of.
+    """
+    fn()  # warmup, fused
+    with reference_kernels():
+        fn()  # warmup, reference
+    fused_s = reference_s = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        fused_s = min(fused_s, time.perf_counter() - start)
+        with reference_kernels():
+            start = time.perf_counter()
+            fn()
+            reference_s = min(reference_s, time.perf_counter() - start)
+    return fused_s, reference_s
+
+
+def _mlp_workload():
+    rng = bench_rng(31)
+    model = MLP([64, 128, 64, 10], rng=rng)
+    images = rng.standard_normal((32, 64))
+    labels = rng.integers(0, 10, 32)
+    return model, images, labels
+
+
+def test_graph_node_reduction(benchmark):
+    """Fusion's machine-independent gate: fewer autograd nodes, exactly.
+
+    Node counts are graph facts, not timings, so both gates hold on any
+    machine: the whole MLP training step shrinks >= 3x, and the deepest
+    fused chain — cross-entropy's max/exp/sum/log/gather cascade — alone
+    collapses >= 5x into its single fused node.
+    """
+    model, images, labels = _mlp_workload()
+    loss_fn = CrossEntropyLoss()
+
+    def step():
+        model.zero_grad()
+        loss_fn(model(Tensor(images)), labels).backward()
+
+    def ce_only():
+        logits = Tensor(images[:, :10].copy(), requires_grad=True)
+        loss_fn(logits, labels).backward()
+
+    with Profiler() as fused_prof:
+        benchmark.pedantic(step, rounds=1, iterations=1)
+    with Profiler() as fused_ce:
+        ce_only()
+    with reference_kernels():
+        with Profiler() as reference_prof:
+            step()
+        with Profiler() as reference_ce:
+            ce_only()
+
+    reduction = reference_prof.total_calls / fused_prof.total_calls
+    ce_reduction = reference_ce.total_calls / fused_ce.total_calls
+    _RESULTS["graph_node_reduction"] = {
+        "training_step": {
+            "fused_nodes": fused_prof.total_calls,
+            "reference_nodes": reference_prof.total_calls,
+            "reduction": reduction,
+            "gate": GATE_NODE_REDUCTION,
+        },
+        "cross_entropy_chain": {
+            "fused_nodes": fused_ce.total_calls,
+            "reference_nodes": reference_ce.total_calls,
+            "reduction": ce_reduction,
+            "gate": GATE_CE_NODE_REDUCTION,
+        },
+    }
+    record_report(
+        "Tensor core — autograd graph size, fused vs reference",
+        f"MLP training step   reference {reference_prof.total_calls:4d} nodes"
+        f"   fused {fused_prof.total_calls:4d} nodes   ({reduction:.1f}x, "
+        f"gate >= {GATE_NODE_REDUCTION:.0f}x)\n"
+        f"cross-entropy chain reference {reference_ce.total_calls:4d} nodes"
+        f"   fused {fused_ce.total_calls:4d} nodes   ({ce_reduction:.1f}x, "
+        f"gate >= {GATE_CE_NODE_REDUCTION:.0f}x)",
+    )
+    assert reduction >= GATE_NODE_REDUCTION
+    assert ce_reduction >= GATE_CE_NODE_REDUCTION
+    _write_json()
+
+
+def test_training_loop_speedup(benchmark):
+    model, images, labels = _mlp_workload()
+    loss_fn = CrossEntropyLoss()
+    optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+
+    def grads_only():
+        model.zero_grad()
+        loss_fn(model(Tensor(images)), labels).backward()
+
+    def update_step():
+        grads_only()
+        optimizer.step()
+
+    def update_loop():
+        for _ in range(30):
+            update_step()
+
+    def grads_loop():
+        for _ in range(30):
+            grads_only()
+
+    benchmark.pedantic(update_step, rounds=3, iterations=5)
+    update_f, update_r = _ab(update_loop)
+    grads_f, grads_r = _ab(grads_loop)
+
+    _RESULTS["training_loop"] = {
+        "update_loop": {
+            "fused_s": update_f, "reference_s": update_r,
+            "speedup": update_r / update_f, "gate": GATE_UPDATE_LOOP,
+        },
+        "grads_loop": {
+            "fused_s": grads_f, "reference_s": grads_r,
+            "speedup": grads_r / grads_f, "gate": GATE_GRADS_LOOP,
+        },
+    }
+    record_report(
+        "Tensor core — 30-step MLP training loops, fused vs reference",
+        f"update loop  fused {1e3 * update_f:7.2f} ms   "
+        f"reference {1e3 * update_r:7.2f} ms   ({update_r / update_f:.2f}x)\n"
+        f"grads loop   fused {1e3 * grads_f:7.2f} ms   "
+        f"reference {1e3 * grads_r:7.2f} ms   ({grads_r / grads_f:.2f}x)",
+    )
+    assert update_r / update_f >= GATE_UPDATE_LOOP
+    assert grads_r / grads_f >= GATE_GRADS_LOOP
+    _write_json()
+
+
+def test_fused_op_micro_speedups(benchmark):
+    rng = bench_rng(32)
+    logits_data = rng.standard_normal((128, 100))
+    labels = rng.integers(0, 100, 128)
+    loss_fn = CrossEntropyLoss()
+
+    def ce_step():
+        logits = Tensor(logits_data, requires_grad=True)
+        loss_fn(logits, labels).backward()
+
+    def ce_loop():
+        for _ in range(20):
+            ce_step()
+
+    cnn = small_cnn(num_classes=10, in_channels=3, rng=bench_rng(33))
+    conv_images = rng.standard_normal((8, 3, 16, 16))
+    conv_labels = rng.integers(0, 10, 8)
+
+    def conv_step():
+        cnn.zero_grad()
+        loss_fn(cnn(Tensor(conv_images)), conv_labels).backward()
+
+    benchmark.pedantic(conv_step, rounds=3, iterations=2)
+    ce_f, ce_r = _ab(ce_loop)
+    conv_f, conv_r = _ab(conv_step)
+
+    _RESULTS["fused_ops"] = {
+        "cross_entropy_fwd_bwd": {
+            "fused_s": ce_f, "reference_s": ce_r,
+            "speedup": ce_r / ce_f, "gate": GATE_CROSS_ENTROPY,
+        },
+        "small_cnn_fwd_bwd": {
+            "fused_s": conv_f, "reference_s": conv_r,
+            "speedup": conv_r / conv_f, "gate": GATE_CONV,
+        },
+    }
+    record_report(
+        "Tensor core — fused op microbenchmarks",
+        f"cross-entropy (128x100, fwd+bwd x20)  fused {1e3 * ce_f:7.2f} ms   "
+        f"reference {1e3 * ce_r:7.2f} ms   ({ce_r / ce_f:.2f}x)\n"
+        f"small_cnn (8x3x16x16, fwd+bwd)        fused {1e3 * conv_f:7.2f} ms   "
+        f"reference {1e3 * conv_r:7.2f} ms   ({conv_r / conv_f:.2f}x)",
+    )
+    assert ce_r / ce_f >= GATE_CROSS_ENTROPY
+    assert conv_r / conv_f >= GATE_CONV
+    _write_json()
+
+
+def test_optimizer_inplace_not_slower(benchmark):
+    """``out=`` optimizer steps: allocation-free and at least as fast."""
+    model, images, labels = _mlp_workload()
+    loss_fn = CrossEntropyLoss()
+    model.zero_grad()
+    loss_fn(model(Tensor(images)), labels).backward()
+
+    per_optimizer: dict[str, dict] = {}
+    for name, optimizer in (
+        ("sgd", SGD(model.parameters(), lr=0.01, momentum=0.9, weight_decay=1e-4)),
+        ("adam", Adam(model.parameters(), lr=0.001, weight_decay=1e-4)),
+    ):
+        def steps(opt=optimizer):
+            for _ in range(50):
+                opt.step()
+
+        if name == "sgd":
+            benchmark.pedantic(steps, rounds=3, iterations=1)
+        fused_s, reference_s = _ab(steps)
+        per_optimizer[name] = {
+            "fused_s": fused_s, "reference_s": reference_s,
+            "speedup": reference_s / fused_s, "gate": GATE_OPTIMIZER_FLOOR,
+        }
+        assert reference_s / fused_s >= GATE_OPTIMIZER_FLOOR
+
+    _RESULTS["optimizer_steps"] = per_optimizer
+    record_report(
+        "Tensor core — 50 in-place optimizer steps vs allocating reference",
+        "\n".join(
+            f"{name:<5} fused {1e3 * stats['fused_s']:7.2f} ms   "
+            f"reference {1e3 * stats['reference_s']:7.2f} ms   "
+            f"({stats['speedup']:.2f}x)"
+            for name, stats in per_optimizer.items()
+        ),
+    )
+    _write_json()
+
+
+def test_im2col_index_cache(benchmark):
+    """Satellite gate: repeat index-grid construction is an LRU lookup."""
+    shape = (24, 24, 3, 1)
+
+    def cold():
+        _im2col_indices.cache_clear()
+        return _im2col_indices(*shape)
+
+    def warm():
+        return _im2col_indices(*shape)
+
+    benchmark.pedantic(warm, rounds=3, iterations=10)
+    cold_s = _best_of(cold)
+    warm()  # prime
+    warm_s = _best_of(lambda: [warm() for _ in range(100)]) / 100
+    hits_before = _im2col_indices.cache_info().hits
+    rng = bench_rng(34)
+    weight = Tensor(rng.standard_normal((4, 3, 3, 3)))
+    for _ in range(3):
+        conv2d(Tensor(rng.standard_normal((2, 3, 24, 24))), weight, None)
+    assert _im2col_indices.cache_info().hits > hits_before
+
+    speedup = cold_s / warm_s
+    _RESULTS["im2col_index_cache"] = {
+        "cold_s": cold_s, "warm_s": warm_s,
+        "speedup": speedup, "gate": GATE_INDEX_CACHE,
+    }
+    record_report(
+        "Tensor core — _im2col_indices LRU cache",
+        f"cold {1e6 * cold_s:8.2f} us   warm {1e6 * warm_s:8.2f} us   "
+        f"({speedup:.0f}x, gate >= {GATE_INDEX_CACHE:.0f}x)",
+    )
+    assert speedup >= GATE_INDEX_CACHE
+    _write_json()
+
+
+def test_sweep_cell_end_to_end(benchmark):
+    """The consumer-level gate: a sweep cell is faster *and* identical.
+
+    The cell runs 30 federated rounds so the per-round training loop, not
+    one-time model/attack construction, dominates; everything around the
+    tensor core (defense pipeline, augmentation, serialization) is
+    tensor-free and dilutes the kernel-level speedup, which is why this
+    gate is the lowest.
+    """
+
+    def run_cell():
+        runner = GRID_PRESETS["smoke"](
+            0, 30, None, attacks=("rtf",), defenses=("MR",)
+        )
+        (cell,) = runner.cells()
+        return runner.run_cell(cell)
+
+    benchmark.pedantic(run_cell, rounds=3, iterations=1)
+    fused_result = run_cell()
+    with reference_kernels():
+        reference_result = run_cell()
+    # The A/B equivalence oracle: both kernel modes produce the same cell.
+    assert fused_result == reference_result
+
+    fused_s, reference_s = _ab(run_cell, rounds=3)
+
+    speedup = reference_s / fused_s
+    _RESULTS["sweep_cell_end_to_end"] = {
+        "cell": "rtfxMR", "rounds": 30,
+        "fused_s": fused_s, "reference_s": reference_s,
+        "speedup": speedup, "gate": GATE_SWEEP_CELL,
+        "results_identical": True,
+    }
+    record_report(
+        "Tensor core — 30-round sweep cell (rtf x MR), fused vs reference",
+        f"fused {1e3 * fused_s:7.2f} ms   reference {1e3 * reference_s:7.2f} ms"
+        f"   ({speedup:.2f}x, gate >= {GATE_SWEEP_CELL:.2f}x, results identical)",
+    )
+    assert speedup >= GATE_SWEEP_CELL
+    _write_json()
+
+
+def _write_json() -> None:
+    # Merge with any existing file so running one bench in isolation does
+    # not drop another bench's recorded section.
+    merged: dict = {}
+    if JSON_PATH.exists():
+        try:
+            merged = json.loads(JSON_PATH.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged.update(_RESULTS)
+    JSON_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

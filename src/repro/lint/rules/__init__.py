@@ -29,12 +29,17 @@ The rules, and the invariant each one guards:
 - ``registry-knob-sync`` (:mod:`.registry_sync`): declared attack/defense
   knobs round-trip against their constructors, so a knob rename fails at
   lint time instead of mid-sweep.
+- ``no-allocating-accumulate`` (:mod:`.accumulate`): gradient
+  accumulation under ``src/repro/tensor`` stays in place (pooled
+  buffers, ``out=``) — ``x.grad = x.grad + g`` churn is a silent perf
+  regression the benchmarks would only catch at their gate.
 
 Add-a-rule recipe: see EXPERIMENTS.md (mirrors add-an-attack /
 add-a-defense).
 """
 
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    accumulate,
     io,
     ordering,
     pickling,

@@ -11,8 +11,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+import repro.tensor.backend as backend
+import repro.tensor.fused as fused
 from repro.nn.init import bias_uniform, kaiming_uniform
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, _bump_structure_generation
 from repro.tensor import (
     Tensor,
     avg_pool2d,
@@ -54,6 +56,8 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
+        if backend.FUSED and x.ndim == 2:
+            return fused.linear(x, self.weight, self.bias)
         out = x @ self.weight.T
         if self.bias is not None:
             out = out + self.bias
@@ -184,6 +188,7 @@ class Sequential(Module):
         """Insert ``module`` at position ``index`` (used for model surgery)."""
         name = f"inserted_{len(self._modules)}"
         self._modules[name] = module
+        _bump_structure_generation()
         object.__setattr__(self, f"layer_{name}", module)
         self._order.insert(index, name)
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.tensor.backend as backend
+import repro.tensor.fused as fused
 from repro.nn.module import Module
 from repro.tensor import Tensor
 
@@ -35,6 +37,8 @@ class CrossEntropyLoss(Module):
         self.reduction = reduction
 
     def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        if backend.FUSED:
+            return fused.cross_entropy(logits, targets, reduction=self.reduction)
         num_classes = logits.shape[-1]
         encoded = one_hot(np.asarray(targets), num_classes)
         log_probs = logits.log_softmax(axis=-1)

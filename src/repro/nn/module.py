@@ -22,6 +22,26 @@ class Parameter(Tensor):
         super().__init__(data, requires_grad=True, name=name)
 
 
+# Structure generation counter: bumped on every Parameter/Module
+# registration anywhere in the process.  Each module's flattened
+# named-parameter list is cached against this stamp, so the traversal
+# (rebuilt string prefixes, nested generators) runs once per *structure*,
+# not once per zero_grad/grad_dict call in the training hot loop —
+# while any structural edit, even to a nested child, invalidates every
+# ancestor's cache at the next lookup.
+_STRUCTURE_GENERATION = 0
+
+
+def _bump_structure_generation() -> None:
+    """Invalidate every module's flattened-parameter cache.
+
+    Call after mutating ``_parameters``/``_modules`` directly instead of
+    through ``__setattr__`` (e.g. ``Sequential.insert``'s re-keying).
+    """
+    global _STRUCTURE_GENERATION
+    _STRUCTURE_GENERATION += 1
+
+
 class Module:
     """Base class for all neural-network components.
 
@@ -34,14 +54,18 @@ class Module:
         object.__setattr__(self, "_modules", {})
         object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_flat_parameters", None)
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def __setattr__(self, name: str, value) -> None:
+        global _STRUCTURE_GENERATION
         if isinstance(value, Parameter):
+            _STRUCTURE_GENERATION += 1
             self._parameters[name] = value
         elif isinstance(value, Module):
+            _STRUCTURE_GENERATION += 1
             self._modules[name] = value
         object.__setattr__(self, name, value)
 
@@ -54,13 +78,33 @@ class Module:
     # Traversal
     # ------------------------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        if not prefix:
+            yield from self._flat_named_parameters()
+            return
         for name, param in self._parameters.items():
             yield prefix + name, param
         for name, module in self._modules.items():
             yield from module.named_parameters(prefix + name + ".")
 
+    def _flat_named_parameters(self) -> list[tuple[str, Parameter]]:
+        cached = self._flat_parameters
+        if cached is not None and cached[0] == _STRUCTURE_GENERATION:
+            return cached[1]
+        flat: list[tuple[str, Parameter]] = []
+        for name, param in self._parameters.items():
+            flat.append((name, param))
+        for name, module in self._modules.items():
+            flat.extend(
+                (name + "." + child_name, param)
+                for child_name, param in module._flat_named_parameters()
+            )
+        object.__setattr__(
+            self, "_flat_parameters", (_STRUCTURE_GENERATION, flat)
+        )
+        return flat
+
     def parameters(self) -> Iterator[Parameter]:
-        for _, param in self.named_parameters():
+        for _, param in self._flat_named_parameters():
             yield param
 
     def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
@@ -125,12 +169,25 @@ class Module:
         np.copyto(buffer, value)
         return True
 
-    def grad_dict(self) -> dict[str, np.ndarray]:
-        """Return a name -> gradient mapping (zeros when grad is absent)."""
+    def grad_dict(self, transfer: bool = False) -> dict[str, np.ndarray]:
+        """Return a name -> gradient mapping (zeros when grad is absent).
+
+        ``transfer=True`` moves gradient ownership to the caller instead of
+        copying: a parameter whose gradient is an exclusively-owned buffer
+        (see ``Tensor._accumulate``) hands over the array itself and drops
+        its own reference, which both skips the copy and keeps the buffer
+        out of the pool at the next ``zero_grad()``.  Values are identical
+        either way; use it when the model's gradients are consumed exactly
+        once per backward (the FL client-update chokepoint).
+        """
         grads = {}
         for name, param in self.named_parameters():
             if param.grad is None:
                 grads[name] = np.zeros_like(param.data)
+            elif transfer and param._grad_owned:
+                grads[name] = param.grad
+                param.grad = None
+                param._grad_owned = False
             else:
                 grads[name] = param.grad.copy()
         return grads

@@ -3,6 +3,14 @@
 Table I of the paper trains ResNet-18 with Adam (lr 1e-3, weight decay 1e-5
 for ImageNet, 1e-2 for CIFAR100); the FL server update of Eq. 1 is plain SGD
 on averaged gradients.
+
+Both optimizers are dual-mode (see :mod:`repro.tensor.backend`): the fused
+mode performs every step with ``out=`` ufuncs into per-parameter scratch
+buffers allocated once and reused for the life of the optimizer, replacing
+the reference mode's per-step temporaries (``grad + wd*param``, ``m_hat``,
+``v_hat``, the update product).  ``out=`` ufuncs round identically to their
+allocating forms and the op *order* is replayed exactly, so a training
+trajectory is bit-identical across modes (gated by the equivalence suite).
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from typing import Iterable
 
 import numpy as np
 
+import repro.tensor.backend as backend
 from repro.nn.module import Parameter
 
 
@@ -45,8 +54,33 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[np.ndarray | None] = [None] * len(self.parameters)
 
     def step(self) -> None:
+        if not backend.FUSED:
+            self._step_reference()
+            return
+        xp = backend.xp
+        for i, (param, velocity) in enumerate(zip(self.parameters, self._velocity)):
+            if param.grad is None:
+                continue
+            buf = self._scratch[i]
+            if buf is None:
+                buf = self._scratch[i] = np.empty_like(param.data)
+            grad = param.grad
+            if self.weight_decay:
+                # Reference order: grad + weight_decay * param.data.
+                xp.multiply(param.data, self.weight_decay, out=buf)
+                xp.add(grad, buf, out=buf)
+                grad = buf
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            xp.multiply(grad, self.lr, out=buf)
+            xp.subtract(param.data, buf, out=param.data)
+
+    def _step_reference(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -79,11 +113,52 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[tuple[np.ndarray, np.ndarray] | None] = (
+            [None] * len(self.parameters)
+        )
 
     def step(self) -> None:
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
+        if not backend.FUSED:
+            self._step_reference(bias1, bias2)
+            return
+        xp = backend.xp
+        for i, (param, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
+            if param.grad is None:
+                continue
+            pair = self._scratch[i]
+            if pair is None:
+                pair = self._scratch[i] = (
+                    np.empty_like(param.data), np.empty_like(param.data)
+                )
+            a, b = pair
+            grad = param.grad
+            if self.weight_decay:
+                xp.multiply(param.data, self.weight_decay, out=a)
+                xp.add(grad, a, out=a)
+                grad = a
+            # m = beta1*m + (1-beta1)*grad, replayed in reference op order.
+            m *= self.beta1
+            xp.multiply(grad, 1.0 - self.beta1, out=b)
+            xp.add(m, b, out=m)
+            # v = beta2*v + (1-beta2)*grad*grad.
+            v *= self.beta2
+            xp.multiply(grad, 1.0 - self.beta2, out=b)
+            xp.multiply(b, grad, out=b)
+            xp.add(v, b, out=v)
+            # param -= lr*m_hat / (sqrt(v_hat) + eps), same op order as the
+            # reference allocating chain.
+            xp.divide(m, bias1, out=a)
+            xp.multiply(a, self.lr, out=a)
+            xp.divide(v, bias2, out=b)
+            xp.sqrt(b, out=b)
+            xp.add(b, self.eps, out=b)
+            xp.divide(a, b, out=a)
+            xp.subtract(param.data, a, out=param.data)
+
+    def _step_reference(self, bias1: float, bias2: float) -> None:
         for param, m, v in zip(self.parameters, self._m, self._v):
             if param.grad is None:
                 continue

@@ -7,7 +7,9 @@ attacks invert the literal gradient arithmetic of a Linear+ReLU layer
 the experiment, so we build the exact thing.
 """
 
+from repro.tensor import backend, buffers
 from repro.tensor.autograd import is_grad_enabled, no_grad, topological_order
+from repro.tensor.backend import reference_kernels, set_kernel_mode, use_backend
 from repro.tensor.conv import (
     avg_pool2d,
     batch_norm,
@@ -15,7 +17,7 @@ from repro.tensor.conv import (
     global_avg_pool2d,
     max_pool2d,
 )
-from repro.tensor.tensor import Tensor, concatenate, stack
+from repro.tensor.tensor import Tensor, concatenate, set_profile_hook, stack
 
 __all__ = [
     "Tensor",
@@ -29,4 +31,10 @@ __all__ = [
     "avg_pool2d",
     "global_avg_pool2d",
     "batch_norm",
+    "backend",
+    "buffers",
+    "reference_kernels",
+    "set_kernel_mode",
+    "use_backend",
+    "set_profile_hook",
 ]

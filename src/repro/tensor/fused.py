@@ -1,0 +1,127 @@
+"""Single-node fused kernels for the hot chains of the training loop.
+
+Each kernel here collapses a multi-node autograd chain into one graph node
+with a hand-written backward.  The contract, enforced by the equivalence
+suite (``tests/test_tensor_core_equivalence.py``) and the golden grids, is
+**bit-identity with the reference graph**: the forward replays the exact
+float64 op order the unfused chain executes, and the backward replays the
+exact contribution order the reference closures produce — so a sweep cell
+run on fused kernels is byte-for-byte the cell run on the reference graph,
+just with ~4x fewer graph nodes and temporaries on its hottest path.
+
+Why bit-identity holds (the derivations live in DESIGN.md "The tensor
+core"): ``a - b == a + (-b)`` exactly; negation is a sign-bit flip and
+commutes bitwise with pairwise-summation reductions; multiplication is
+commutative exactly; ``out=`` ufuncs round identically to their allocating
+forms; and the backward contribution order is read off the reference
+graph's reversed topological order, not re-derived algebraically.
+
+Callers are expected to gate on :data:`repro.tensor.backend.FUSED` — in
+reference mode the layers/losses build the original chains instead, which
+is what ``benchmarks/bench_tensor_core.py`` measures against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+import repro.tensor.backend as backend
+import repro.tensor.buffers as buffers
+from repro.tensor.tensor import Tensor
+
+__all__ = ["linear", "cross_entropy"]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """Fused ``y = x @ W.T + b`` for 2-D activations: one node, no views.
+
+    Replaces the reference transpose->matmul->add three-node chain.  The
+    backward replays the reference contribution order (bias from the add
+    node first, then weight, then the input from the matmul node) and the
+    reference BLAS call shapes — ``grad_w`` is computed as
+    ``(x.T @ g).T`` exactly as the transpose node's backward produced it,
+    because a differently-laid-out GEMM may sum in a different order.
+    """
+    xp = backend.xp
+    data = x.data @ weight.data.T
+    if bias is not None:
+        xp.add(data, bias.data, out=data)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(out: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            g = out.grad
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(g.sum(axis=(0,)), fresh=True)
+            if weight.requires_grad:
+                # The reference BLAS call, then an exact elementwise copy
+                # into a C-contiguous pooled buffer: downstream *full*
+                # reductions (gradient clipping's np.sum) flatten in
+                # memory order, so handing out the transpose view itself
+                # would change their pairwise-summation grouping.
+                grad_w = x.data.T @ g
+                buf = buffers.acquire(weight.data.shape, grad_w.dtype)
+                np.copyto(buf, grad_w.T)
+                weight._accumulate(buf, fresh=True)
+            if x.requires_grad:
+                x._accumulate(g @ weight.data, fresh=True)
+
+        return run
+
+    return Tensor._make(data, parents, backward)
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Bitwise-identical twin of :func:`repro.nn.losses.one_hot`."""
+    labels = np.asarray(labels, dtype=np.int64)
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Fused softmax cross-entropy over integer targets: one graph node.
+
+    Replaces the ~10-node reference chain (max/sub/exp/sum/log/sub/mul/
+    sum/neg/sum/scale) built by ``log_softmax`` + ``CrossEntropyLoss``.
+    Forward and backward replay the reference op order exactly — see the
+    module docstring for the bit-identity contract.
+    """
+    if reduction not in ("mean", "sum"):
+        raise ValueError(f"unsupported reduction: {reduction}")
+    xp = backend.xp
+    num_classes = logits.shape[-1]
+    encoded = _one_hot(np.asarray(targets), num_classes)
+
+    # Forward, op for op as the reference chain computes it.
+    maxes = logits.data.max(axis=-1, keepdims=True)
+    shifted = logits.data - maxes
+    exps = xp.exp(shifted)
+    sums = exps.sum(axis=-1, keepdims=True)
+    log_probs = shifted - xp.log(sums)
+    per_sample = -(log_probs * encoded).sum(axis=-1)
+    total = per_sample.sum()
+    if reduction == "mean":
+        inv = 1.0 / per_sample.size
+        data = total * inv
+    else:
+        inv = None
+        data = total
+
+    def backward(out: Tensor) -> Callable[[], None]:
+        def run() -> None:
+            if not logits.requires_grad:
+                return
+            # Reference reversed-topo replay: the loss scale, then the
+            # one-hot path into log_probs, then the log-sum-exp path.
+            g = out.grad * inv if inv is not None else out.grad
+            a1 = (-g) * encoded
+            g_sums = a1.sum(axis=-1, keepdims=True)
+            grad_logits = a1 + xp.broadcast_to((-g_sums) / sums, a1.shape) * exps
+            logits._accumulate(grad_logits, fresh=True)
+
+        return run
+
+    return Tensor._make(np.asarray(data), (logits,), backward)

@@ -16,11 +16,34 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+import repro.tensor.backend as backend
+import repro.tensor.buffers as buffers
 from repro.tensor.autograd import is_grad_enabled, topological_order
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 DEFAULT_DTYPE = np.float64
+
+# Optional op-construction hook for repro.profile: called as
+# ``hook(backward_factory, data)`` from Tensor._make for every graph node.
+# A single global read when unset keeps the disabled cost negligible.
+_PROFILE_HOOK: Optional[Callable] = None
+
+
+def set_profile_hook(hook: Optional[Callable]) -> Optional[Callable]:
+    """Install (or clear, with None) the ``Tensor._make`` profiling hook.
+
+    Returns the previously installed hook so callers can restore it.  The
+    hook receives the op's backward factory (whose ``__qualname__`` names
+    the op) and the freshly computed result array; :mod:`repro.profile`
+    uses it to attribute sweep-cell wall time to named ops.  A hook may
+    return a replacement backward factory (or None to keep the original),
+    which is how the profiler times backward closures per op.
+    """
+    global _PROFILE_HOOK
+    previous = _PROFILE_HOOK
+    _PROFILE_HOOK = hook
+    return previous
 
 
 def _as_array(data: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
@@ -59,7 +82,10 @@ class Tensor:
         and :meth:`backward` accumulates into :attr:`grad`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_parents", "_backward", "name",
+        "_grad_owned",
+    )
 
     def __init__(
         self,
@@ -74,6 +100,9 @@ class Tensor:
         self._parents: tuple["Tensor", ...] = ()
         self._backward: Optional[Callable[[], None]] = None
         self.name = name
+        # True when ``grad`` is exclusively ours: safe to mutate in place
+        # and to hand back to the buffer pool at zero_grad().
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -116,7 +145,10 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
+        if self._grad_owned and self.grad is not None:
+            buffers.release(self.grad)
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Graph construction helpers
@@ -128,6 +160,10 @@ class Tensor:
         backward: Callable[["Tensor"], Callable[[], None]],
     ) -> "Tensor":
         """Build an op result, attaching the graph only in grad mode."""
+        if _PROFILE_HOOK is not None:
+            replacement = _PROFILE_HOOK(backward, data)
+            if replacement is not None:
+                backward = replacement
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
@@ -135,13 +171,53 @@ class Tensor:
             out._backward = backward(out)
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, fresh: bool = False) -> None:
+        """Add one backward contribution to :attr:`grad`.
+
+        ``fresh=True`` asserts the caller just computed ``grad`` and holds
+        no other reference to it (fused kernels pass this), so it can be
+        adopted as an owned buffer without the defensive copy.  Arrays
+        *not* marked fresh may be shared — e.g. both parents of an ``add``
+        with equal shapes receive the same ``out.grad`` array — so they
+        are borrowed read-only and upgraded to an owned pool buffer only
+        when a second contribution arrives.
+
+        The fused path produces bit-identical values to the reference
+        path: ``np.copyto``/``np.add(..., out=)`` round exactly like
+        ``.copy()``/``+`` — only the allocation behaviour differs.
+        """
         if not self.requires_grad:
             return
+        if backend.FUSED:
+            current = self.grad
+            if current is None:
+                if fresh:
+                    self.grad = grad
+                    self._grad_owned = True
+                elif grad.base is not None or grad is self.data:
+                    buf = buffers.acquire(grad.shape, grad.dtype)
+                    np.copyto(buf, grad)
+                    self.grad = buf
+                    self._grad_owned = True
+                else:
+                    self.grad = grad
+                    self._grad_owned = False
+            elif self._grad_owned:
+                np.add(current, grad, out=current)
+            else:
+                buf = buffers.acquire(current.shape, current.dtype)
+                np.add(current, grad, out=buf)
+                self.grad = buf
+                self._grad_owned = True
+            return
+        # Reference kernels: the pre-acceleration allocating accumulate,
+        # kept as the A/B baseline and byte-identity oracle.
         if self.grad is None:
             self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+            self._grad_owned = False
         else:
-            self.grad = self.grad + grad
+            self.grad = self.grad + grad  # repro-lint: disable=no-allocating-accumulate -- reference kernel mode preserves the pre-acceleration graph as the bench baseline and equivalence oracle
+            self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -204,10 +280,28 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self.__add__(-self._coerce(other))
+        other = self._coerce(other)
+        if not backend.FUSED:
+            return self.__add__(-other)
+        # One node instead of the reference neg+add pair.  Bit-identical:
+        # ``a - b == a + (-b)`` exactly in IEEE-754, and negation commutes
+        # bitwise with the unbroadcast reduction (round-to-nearest is
+        # symmetric under sign flip), so ``-unbroadcast(g) == unbroadcast(-g)``.
+        data = self.data - other.data
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(-_unbroadcast(out.grad, other.shape), fresh=True)
+
+            return run
+
+        return Tensor._make(data, (self, other), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return self._coerce(other).__add__(-self)
+        return self._coerce(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
@@ -474,17 +568,75 @@ class Tensor:
 
         return Tensor._make(np.asarray(data), (self,), backward)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def _reduce_count(self, axis) -> int:
         if axis is None:
-            count = self.size
-        else:
+            return self.size
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        return int(np.prod([self.shape[a % self.ndim] for a in axes]))
+
+    def _expand_reduced(self, grad: np.ndarray, axis, keepdims: bool) -> np.ndarray:
+        """Reshape a reduced gradient back to broadcast against ``self``."""
+        if axis is not None and not keepdims:
             axes = axis if isinstance(axis, tuple) else (axis,)
-            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
-        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+            axes = tuple(a % self.ndim for a in axes)
+            shape = tuple(1 if i in axes else s for i, s in enumerate(self.shape))
+            grad = grad.reshape(shape)
+        return grad
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self._reduce_count(axis)
+        inv = 1.0 / count
+        if not backend.FUSED:
+            return self.sum(axis=axis, keepdims=keepdims) * inv
+        # Fused sum-then-scale: one node for the reference sum+mul pair.
+        # The scale must stay ``sum * (1/count)`` — dividing by ``count``
+        # rounds differently, so np.mean would break byte-identity.
+        data = self.data.sum(axis=axis, keepdims=keepdims) * inv
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if not self.requires_grad:
+                    return
+                grad = self._expand_reduced(out.grad * inv, axis, keepdims)
+                self._accumulate(np.broadcast_to(grad, self.shape))
+
+            return run
+
+        return Tensor._make(np.asarray(data), (self,), backward)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
-        centered = self - self.mean(axis=axis, keepdims=True)
-        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+        if not backend.FUSED:
+            centered = self - self.mean(axis=axis, keepdims=True)
+            return (centered * centered).mean(axis=axis, keepdims=keepdims)
+        # Fused biased variance: one node for the reference seven-node
+        # sum/scale/neg/add/mul/sum/scale chain.  Forward replays the
+        # reference op order exactly; backward replays the reference
+        # closure order (the ``centered*centered`` double contribution
+        # first, then the mean-path correction), so values and the
+        # accumulation order are bit-identical.
+        count = self._reduce_count(axis)
+        inv = 1.0 / count
+        mean_kept = self.data.sum(axis=axis, keepdims=True) * inv
+        centered = self.data - mean_kept
+        squared = centered * centered
+        data = squared.sum(axis=axis, keepdims=keepdims) * inv
+
+        def backward(out: "Tensor") -> Callable[[], None]:
+            def run() -> None:
+                if not self.requires_grad:
+                    return
+                g_sq = np.broadcast_to(
+                    self._expand_reduced(out.grad * inv, axis, keepdims), self.shape
+                )
+                term = g_sq * centered
+                grad_centered = term + term
+                self._accumulate(grad_centered, fresh=True)
+                reduced = _unbroadcast(grad_centered, mean_kept.shape)
+                self._accumulate(np.broadcast_to((-reduced) * inv, self.shape))
+
+            return run
+
+        return Tensor._make(np.asarray(data), (self,), backward)
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)

@@ -42,6 +42,7 @@ EXPECTED_RULES = {
     "sorted-iteration",
     "picklable-entry",
     "registry-knob-sync",
+    "no-allocating-accumulate",
 }
 
 
@@ -67,10 +68,12 @@ class TestRuleRegistry:
         bench = {rule.name for rule in rules_for("bench")}
         assert lib == EXPECTED_RULES
         # bench relaxes the write/wallclock rules and nothing else
-        # (no-sim-wallclock only ever applies under src/repro/fl, which
+        # (no-sim-wallclock / no-allocating-accumulate only ever apply
+        # under src/repro/fl and src/repro/tensor respectively, which
         # the bench profile never lints).
         assert bench == EXPECTED_RULES - {
-            "no-raw-write", "no-wallclock", "no-sim-wallclock"
+            "no-raw-write", "no-wallclock", "no-sim-wallclock",
+            "no-allocating-accumulate",
         }
 
     def test_unknown_profile_rejected(self):
@@ -337,6 +340,53 @@ class TestNoSimWallclock:
             def ticks(seconds):
                 return int(round(seconds * TICKS_PER_SECOND))
         """) == []
+
+
+# ---------------------------------------------------------------------------
+# no-allocating-accumulate
+# ---------------------------------------------------------------------------
+
+
+class TestNoAllocatingAccumulate:
+    """Gradient accumulation under ``src/repro/tensor`` must stay in
+    place — reassignment-with-add churns an allocation per backward
+    contribution, which is the regression the pooled buffers removed."""
+
+    def tensor_lint(self, source: str, path="src/repro/tensor/tensor.py"):
+        return lint_source(textwrap.dedent(source), path=path)
+
+    def test_reassignment_accumulate_flagged(self):
+        violations = self.tensor_lint("""
+            def _accumulate(self, grad):
+                if self.grad is None:
+                    self.grad = grad
+                else:
+                    self.grad = self.grad + grad
+        """)
+        assert rule_names(violations) == {"no-allocating-accumulate"}
+
+    def test_reversed_operand_order_flagged(self):
+        violations = self.tensor_lint("""
+            x.grad = contribution + x.grad
+        """)
+        assert rule_names(violations) == {"no-allocating-accumulate"}
+
+    def test_in_place_forms_clean(self):
+        assert self.tensor_lint("""
+            import numpy as np
+
+            np.add(x.grad, contribution, out=x.grad)
+            x.grad += contribution
+            x.grad = fresh_buffer
+            x.grad = a + b
+        """) == []
+
+    def test_silent_outside_tensor_tree(self):
+        violations = lint_source(
+            "x.grad = x.grad + g\n",
+            path="src/repro/nn/optim.py",
+        )
+        assert "no-allocating-accumulate" not in rule_names(violations)
 
 
 # ---------------------------------------------------------------------------

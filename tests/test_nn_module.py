@@ -44,6 +44,26 @@ class TestRegistration:
         assert isinstance(p, Tensor)
         assert p.requires_grad
 
+    def test_flat_cache_invalidated_on_late_registration(self):
+        model = Composite()
+        assert len(list(model.named_parameters())) == 4  # builds the cache
+        model.fc3 = Linear(2, 2, rng=np.random.default_rng(2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "fc3.weight" in names and "fc3.bias" in names
+
+    def test_flat_cache_invalidated_on_nested_registration(self):
+        model = Composite()
+        assert len(list(model.named_parameters())) == 4
+        # Mutating a *child* must invalidate the parent's cached list.
+        model.fc1.extra = Parameter(np.zeros(2))
+        assert "fc1.extra" in dict(model.named_parameters())
+
+    def test_flat_cache_invalidated_by_sequential_insert(self):
+        model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        assert len(list(model.parameters())) == 2
+        model.insert(0, Linear(2, 2, rng=np.random.default_rng(1)))
+        assert len(list(model.parameters())) == 4
+
 
 class TestModes:
     def test_train_eval_propagate(self):

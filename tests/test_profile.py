@@ -1,0 +1,177 @@
+"""Tests for the op-level profiler (:mod:`repro.profile`).
+
+The profiler is the measuring instrument behind the tensor-core
+acceleration: op counts must be exact (they are assertions about graph
+shape, e.g. "a fused Linear forward is one node"), timings must reconcile
+with wall time, and — the load-bearing property — profiling must be purely
+observational: a profiled cell returns bit-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.tensor.backend as backend
+import repro.tensor.tensor as tensor_module
+from repro.nn import MLP, CrossEntropyLoss
+from repro.profile import Profiler, op_name, profile_cell
+from repro.tensor import Tensor, reference_kernels
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+class TestOpCounting:
+    def test_counts_every_graph_node(self):
+        with Profiler() as profiler:
+            a = Tensor(np.ones(3), requires_grad=True)
+            ((a * 2.0) + 1.0).sum().backward()
+        assert profiler.ops["__mul__"].calls == 1
+        assert profiler.ops["__add__"].calls == 1
+        assert profiler.ops["sum"].calls == 1
+        assert profiler.total_calls == 3
+
+    def test_fused_linear_is_one_node(self):
+        model = MLP([6, 5, 3], rng=np.random.default_rng(0))
+        images = np.random.default_rng(1).standard_normal((4, 6))
+        labels = np.array([0, 1, 2, 0])
+
+        with Profiler() as fused_prof:
+            CrossEntropyLoss()(model(Tensor(images)), labels).backward()
+        with reference_kernels():
+            with Profiler() as reference_prof:
+                CrossEntropyLoss()(model(Tensor(images)), labels).backward()
+
+        assert fused_prof.ops["linear"].calls == 2
+        assert fused_prof.ops["cross_entropy"].calls == 1
+        assert "linear" not in reference_prof.ops
+        # Fusion is the point: far fewer nodes for the same computation.
+        assert fused_prof.total_calls < reference_prof.total_calls / 2
+
+    def test_backward_closures_timed(self):
+        with Profiler() as profiler:
+            a = Tensor(np.ones((50, 50)), requires_grad=True)
+            (a * 3.0).sum().backward()
+        assert profiler.ops["__mul__"].backward_calls == 1
+        assert profiler.ops["sum"].backward_calls == 1
+
+    def test_timings_reconcile(self):
+        with Profiler() as profiler:
+            a = Tensor(np.ones((100, 100)), requires_grad=True)
+            for _ in range(5):
+                (a @ a).sum().backward()
+        report = profiler.report()
+        assert report["wall_seconds"] > 0
+        total = (
+            report["attributed_seconds"] + report["unattributed_seconds"]
+        )
+        assert total == pytest.approx(report["wall_seconds"], rel=1e-6)
+
+    def test_report_ranked_and_bounded(self):
+        with Profiler() as profiler:
+            a = Tensor(np.ones(4), requires_grad=True)
+            ((a + 1.0) * 2.0).sum().backward()
+        full = profiler.report()
+        assert list(full["ops"]) == sorted(
+            full["ops"],
+            key=lambda n: (
+                -(full["ops"][n]["forward_seconds"]
+                  + full["ops"][n]["backward_seconds"]),
+                n,
+            ),
+        )
+        assert len(profiler.report(top=2)["ops"]) == 2
+
+    def test_hook_restored_and_not_reentrant(self):
+        assert tensor_module._PROFILE_HOOK is None
+        with Profiler() as profiler:
+            assert tensor_module._PROFILE_HOOK is not None
+            with pytest.raises(RuntimeError, match="re-entrant"):
+                profiler.__enter__()
+        assert tensor_module._PROFILE_HOOK is None
+
+    def test_op_name_extraction(self):
+        def backward(out):
+            return lambda: None
+
+        # The name is the function *enclosing* the backward closure.
+        backward.__qualname__ = "Tensor.__add__.<locals>.backward"
+        assert op_name(backward) == "__add__"
+        backward.__qualname__ = "conv2d.<locals>.backward"
+        assert op_name(backward) == "conv2d"
+        backward.__qualname__ = "standalone"
+        assert op_name(backward) == "standalone"
+
+
+class TestProfileCell:
+    def test_profiling_is_observational(self):
+        """A profiled cell returns exactly what an unprofiled one does."""
+        from repro.experiments.sweep import GRID_PRESETS
+
+        runner = GRID_PRESETS["smoke"](0, 1, None)
+        cell = runner.cells()[0]
+        bare = runner.run_cell(cell)
+        report, profiled = profile_cell("rtf", "WO")
+        assert profiled == bare
+        assert report["total_ops"] > 0
+
+    def test_cli_json_output(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.profile", "--cell", "rtfxWO"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["attack"] == "rtf"
+        assert payload["defense"] == "WO"
+        assert payload["kernel_mode"] == "fused"
+        assert payload["profile"]["total_ops"] > 0
+        assert payload["result"]["num_reconstructions"] >= 0
+
+    def test_cli_reference_mode_and_bad_cell(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.profile",
+                "--cell", "rtfxWO", "--reference", "--top", "3",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["kernel_mode"] == "reference"
+        assert len(payload["profile"]["ops"]) <= 3
+
+        bad = subprocess.run(
+            [sys.executable, "-m", "repro.profile", "--cell", "nonsense"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert bad.returncode != 0
+
+    def test_cli_leaves_kernel_mode_unchanged(self):
+        # In-process equivalent of the CLI's restore contract.
+        assert backend.kernel_mode() == "fused"
+        from repro.profile.__main__ import main
+
+        import io
+        import contextlib
+
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = main(["--cell", "rtfxWO", "--reference"])
+        assert code == 0
+        assert backend.kernel_mode() == "fused"
+        assert json.loads(stdout.getvalue())["kernel_mode"] == "reference"
